@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale so the whole suite finishes in minutes.  Two environment variables
+control fidelity:
+
+* ``REPRO_BENCH_SCALE``    -- data scale factor (default 0.5);
+* ``REPRO_BENCH_FULL=1``   -- run the full query sets and algorithm lists
+  (otherwise a representative subset is used).
+
+The printed output of each benchmark is the reproduced table, so running
+``pytest benchmarks/ --benchmark-only -s`` shows the paper artifacts inline.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Data scale factor used by the benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def full_mode() -> bool:
+    """True when the full (paper-sized) configuration was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_families() -> list[int] | None:
+    """JOB families to run (None = all 31 families / 91 queries)."""
+    if full_mode():
+        return None
+    return [1, 2, 5, 6, 9, 11, 14, 15, 17, 20, 23, 28]
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def families() -> list[int] | None:
+    return bench_families()

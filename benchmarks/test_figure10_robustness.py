@@ -1,0 +1,20 @@
+"""Benchmark: reproduce Figure 10 (robustness to CE noise)."""
+
+from repro.core.qsa import QSAStrategy
+from repro.core.ssa import CostFunction
+from repro.experiments import figure10_robustness
+from benchmarks.conftest import full_mode
+
+
+def test_figure10_noise_sweep(benchmark, scale, families):
+    sigmas = (0.5, 1.0, 2.0, 4.0) if full_mode() else (0.5, 2.0, 4.0)
+    policies = (figure10_robustness.DEFAULT_POLICIES if full_mode() else (
+        (QSAStrategy.FK_CENTER, CostFunction.PHI4),
+        (QSAStrategy.PK_CENTER, CostFunction.PHI4),
+    ))
+    results = benchmark.pedantic(
+        lambda: figure10_robustness.run(scale=scale, families=families,
+                                        sigmas=sigmas, policies=policies,
+                                        verbose=True),
+        rounds=1, iterations=1)
+    assert len(results) == len(sigmas) * len(policies)

@@ -1,0 +1,18 @@
+"""Benchmark: reproduce Figure 12 (TPC-H end-to-end)."""
+
+from repro.experiments import figure12_tpch
+from benchmarks.conftest import full_mode
+
+
+def test_figure12_tpch(benchmark, scale):
+    query_numbers = None if full_mode() else [1, 3, 4, 5, 6, 10, 12, 14, 18, 19]
+    results = benchmark.pedantic(
+        lambda: figure12_tpch.run(scale=scale, query_numbers=query_numbers,
+                                  verbose=True),
+        rounds=1, iterations=1)
+    for per_algorithm in results.values():
+        times = {name: result.total_time for name, result in per_algorithm.items()}
+        # Paper shape: on the star schema all approaches land close together;
+        # QuerySplit must not be slower than the slowest re-opt baseline.
+        assert times["QuerySplit"] <= max(times[n] for n in ("Reopt", "Pop",
+                                                             "IEF", "Perron19"))

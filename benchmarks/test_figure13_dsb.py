@@ -1,0 +1,15 @@
+"""Benchmark: reproduce Figure 13 (DSB SPJ queries)."""
+
+from repro.experiments import figure13_dsb_spj
+from benchmarks.conftest import full_mode
+
+
+def test_figure13_dsb_spj(benchmark, scale):
+    algorithms = (figure13_dsb_spj.DEFAULT_ALGORITHMS if full_mode()
+                  else ("QuerySplit", "Default", "Reopt", "Pop", "Perron19"))
+    results = benchmark.pedantic(
+        lambda: figure13_dsb_spj.run(scale=scale, algorithms=algorithms,
+                                     verbose=True),
+        rounds=1, iterations=1)
+    for per_algorithm in results.values():
+        assert per_algorithm["QuerySplit"].timeouts == 0

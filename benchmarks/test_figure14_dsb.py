@@ -1,0 +1,15 @@
+"""Benchmark: reproduce Figure 14 (DSB non-SPJ queries)."""
+
+from repro.experiments import figure14_dsb_nonspj
+from benchmarks.conftest import full_mode
+
+
+def test_figure14_dsb_nonspj(benchmark, scale):
+    algorithms = (figure14_dsb_nonspj.DEFAULT_ALGORITHMS if full_mode()
+                  else ("QuerySplit", "Default", "Pop", "Perron19"))
+    results = benchmark.pedantic(
+        lambda: figure14_dsb_nonspj.run(scale=scale, algorithms=algorithms,
+                                        verbose=True),
+        rounds=1, iterations=1)
+    for per_algorithm in results.values():
+        assert per_algorithm["QuerySplit"].timeouts == 0

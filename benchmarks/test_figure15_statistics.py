@@ -1,0 +1,18 @@
+"""Benchmark: reproduce Figure 15 (collect statistics or not)."""
+
+from repro.experiments import figure15_statistics
+from benchmarks.conftest import full_mode
+
+
+def test_figure15_statistics(benchmark, scale, families):
+    algorithms = (("QuerySplit", "Reopt", "Pop", "IEF", "Perron19") if full_mode()
+                  else ("QuerySplit", "Pop", "Perron19"))
+    results = benchmark.pedantic(
+        lambda: figure15_statistics.run(scale=scale, families=families,
+                                        algorithms=algorithms, verbose=True),
+        rounds=1, iterations=1)
+    # Paper shape: for QuerySplit, skipping statistics collection does not
+    # hurt (its subqueries are mostly PK-FK joins).
+    with_stats = results[("QuerySplit", True)].total_time
+    without = results[("QuerySplit", False)].total_time
+    assert without <= with_stats * 1.3

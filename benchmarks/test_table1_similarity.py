@@ -1,0 +1,13 @@
+"""Benchmark: reproduce Table 1 (initial vs. optimal plan similarity)."""
+
+from repro.experiments import table1_similarity
+
+
+def test_table1_similarity(benchmark, scale, families):
+    ratios = benchmark.pedantic(
+        lambda: table1_similarity.run(scale=scale, families=families, verbose=True),
+        rounds=1, iterations=1)
+    assert abs(sum(ratios.values()) - 1.0) < 1e-9
+    # Paper shape: a majority of queries lose optimality within the first two
+    # joins (similarity <= 2).
+    assert ratios["0"] + ratios["1"] + ratios["2"] >= 0.3

@@ -1,0 +1,25 @@
+"""Benchmark: reproduce Table 3 (QSA x SSA policy grid on JOB)."""
+
+from repro.core.qsa import QSAStrategy
+from repro.core.ssa import CostFunction
+from repro.experiments import table3_policies
+from benchmarks.conftest import full_mode
+
+
+def test_table3_policy_grid(benchmark, scale, families):
+    if full_mode():
+        qsa = table3_policies.QSA_ORDER
+        ssa = table3_policies.SSA_ORDER
+    else:
+        qsa = (QSAStrategy.FK_CENTER, QSAStrategy.PK_CENTER, QSAStrategy.MIN_SUBQUERY)
+        ssa = (CostFunction.PHI1, CostFunction.PHI4, CostFunction.PHI5)
+
+    results = benchmark.pedantic(
+        lambda: table3_policies.run(scale=scale, families=families,
+                                    qsa_strategies=qsa, cost_functions=ssa,
+                                    verbose=True),
+        rounds=1, iterations=1)
+    # Paper shape: FK-Center is never the worst strategy for Phi4.
+    phi4 = {qsa_name: res.total_time for (ssa_name, qsa_name), res in results.items()
+            if ssa_name == "phi4"}
+    assert phi4["fk_center"] <= max(phi4.values())

@@ -1,0 +1,17 @@
+"""Benchmark: reproduce Table 4 (materialization frequency and memory)."""
+
+from repro.experiments import table4_materialization
+
+
+def test_table4_materialization(benchmark, scale, families):
+    metrics = benchmark.pedantic(
+        lambda: table4_materialization.run(scale=scale, families=families,
+                                           verbose=True),
+        rounds=1, iterations=1)
+    # Paper shape: QuerySplit has the smallest per-subquery memory footprint
+    # among the algorithms that do materialize, and Reopt materializes least.
+    mats = {name: m["avg_materializations_per_query"] for name, m in metrics.items()}
+    assert mats["Reopt"] <= mats["QuerySplit"] + 1e-9 or mats["Reopt"] <= min(mats.values()) + 0.5
+    per_subquery = {name: m["avg_mem_per_subquery_mb"] for name, m in metrics.items()
+                    if m["avg_materializations_per_query"] > 0}
+    assert metrics["QuerySplit"]["avg_mem_per_subquery_mb"] <= max(per_subquery.values())

@@ -1,0 +1,20 @@
+"""Benchmark: reproduce Table 5 (existing re-optimizers with Phi cost functions)."""
+
+from repro.core.ssa import CostFunction
+from repro.experiments import table5_existing_costfn
+from benchmarks.conftest import full_mode
+
+
+def test_table5_existing_with_phi(benchmark, scale, families):
+    algorithms = tuple(table5_existing_costfn._BASELINES) if full_mode() else ("Pop", "Perron19")
+    cost_functions = (table5_existing_costfn.COST_FUNCTIONS if full_mode()
+                      else (CostFunction.PHI1, CostFunction.PHI4))
+    results = benchmark.pedantic(
+        lambda: table5_existing_costfn.run(scale=scale, families=families,
+                                           algorithms=algorithms,
+                                           cost_functions=cost_functions,
+                                           verbose=True),
+        rounds=1, iterations=1)
+    # Every variant completes and the original policy is present for reference.
+    for algorithm in algorithms:
+        assert (algorithm, "original") in results

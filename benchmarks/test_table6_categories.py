@@ -1,0 +1,18 @@
+"""Benchmark: reproduce Table 6 + Figures 16-19 (categories and timelines)."""
+
+from repro.experiments import table6_categories
+
+
+def test_table6_categories_and_timelines(benchmark, scale, families):
+    outcome = benchmark.pedantic(
+        lambda: table6_categories.run(scale=scale, families=families, verbose=True),
+        rounds=1, iterations=1)
+    freq = outcome.frequency()
+    total = sum(freq.values())
+    assert total > 0
+    # Paper shape: the two favourable categories (avoided / delayed large
+    # joins) plus "no difference" dominate; "Worse" stays a minority.
+    assert freq["Worse"] <= total * 0.5
+    # Timelines (Figures 16-19) exist for every query and every algorithm.
+    for timelines in outcome.timelines.values():
+        assert set(timelines) >= {"QuerySplit", "Pop", "IEF", "Perron19"}

@@ -1,0 +1,54 @@
+"""Compare QuerySplit against every re-optimization baseline on a JOB slice.
+
+Reproduces a miniature of Figure 11: the same queries are executed by
+QuerySplit, the four re-optimization baselines, and the default optimizer,
+and the per-algorithm totals plus per-query timelines are printed.
+
+Usage::
+
+    python examples/job_reoptimization.py [scale] [family ...]
+"""
+
+import sys
+
+from repro.bench.harness import HarnessConfig, run_workload
+from repro.bench.reporting import format_seconds, format_table
+from repro.workloads import build_imdb_database, job_queries
+
+ALGORITHMS = ("QuerySplit", "Default", "Reopt", "Pop", "IEF", "Perron19")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    families = [int(f) for f in sys.argv[2:]] or [2, 6, 9, 11, 17]
+
+    database = build_imdb_database(scale=scale)
+    queries = job_queries(families=families)
+    print(f"Running {len(queries)} JOB-style queries at scale {scale} "
+          f"with {len(ALGORITHMS)} algorithms...\n")
+
+    config = HarnessConfig(timeout_seconds=60.0)
+    results = {name: run_workload(database, queries, name, config)
+               for name in ALGORITHMS}
+
+    rows = []
+    for name, result in results.items():
+        total_mats = sum(r.materializations for r in result.reports)
+        rows.append([name, format_seconds(result.total_time), total_mats,
+                     result.timeouts or ""])
+    print(format_table(["Algorithm", "Total time", "Materializations", "Timeouts"],
+                       rows, title="JOB slice, end-to-end"))
+
+    # Show the re-optimization timeline of the slowest query for QuerySplit
+    # and for the best baseline (the data behind Figures 16-19).
+    slowest = max(results["Default"].reports, key=lambda r: r.total_time)
+    print(f"\nRe-optimization timeline for query {slowest.query_name}:")
+    for name in ("QuerySplit", "Perron19"):
+        report = results[name].report_for(slowest.query_name)
+        steps = ", ".join(f"{rows_}r/{time_ * 1000:.1f}ms"
+                          for _, rows_, time_ in report.timeline())
+        print(f"  {name:<11s}: {steps}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Study QuerySplit's robustness to cardinality-estimation errors.
+
+Reproduces a miniature of Figure 10: controlled multiplicative noise
+(``err_card = 2**N(mu, sigma) * card``) is injected into the optimizer that
+drives QuerySplit, and the JOB execution time is reported for the FK-Center
+and PK-Center strategies as the noise grows.
+
+Usage::
+
+    python examples/robustness_study.py [scale]
+"""
+
+import sys
+
+from repro.core.qsa import QSAStrategy
+from repro.core.ssa import CostFunction
+from repro.experiments import figure10_robustness
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+    figure10_robustness.run(
+        scale=scale,
+        families=[2, 6, 9, 15, 17],
+        sigmas=(0.5, 1.0, 2.0, 4.0),
+        policies=(
+            (QSAStrategy.FK_CENTER, CostFunction.PHI4),
+            (QSAStrategy.PK_CENTER, CostFunction.PHI4),
+            (QSAStrategy.MIN_SUBQUERY, CostFunction.PHI4),
+        ),
+        verbose=True,
+    )
+    print("\nExpected shape (paper, Figure 10): FK-Center and MinSubquery stay "
+          "robust up to sigma = 2; PK-Center degrades earlier; at sigma = 4 "
+          "every policy suffers.")
+
+
+if __name__ == "__main__":
+    main()

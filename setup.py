@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` works in offline environments that lack the
+``wheel`` package (pip then falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""QuerySplit reproduction: efficient query re-optimization with judicious subquery selections.
+
+This package is a from-scratch, pure-Python reproduction of the SIGMOD 2023
+paper *"Efficient Query Re-optimization with Judicious Subquery Selections"*
+(Zhao, Zhang, Gao).  It contains:
+
+* an in-memory columnar database engine (catalog, statistics, indexes,
+  vectorized executor) standing in for PostgreSQL;
+* a PostgreSQL-style cost-based optimizer with pluggable cardinality
+  estimators (default, true-cardinality oracle, noise-injected, learned,
+  pessimistic);
+* the **QuerySplit** algorithm (:mod:`repro.core`) -- the paper's
+  contribution -- plus the four re-optimization baselines and the robust /
+  learned-CE baselines it is compared against (:mod:`repro.reopt`);
+* synthetic JOB / TPC-H / DSB workloads (:mod:`repro.workloads`);
+* experiment drivers reproducing every table and figure of the paper's
+  evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.workloads import build_imdb_database, job_queries
+    from repro.reopt import make_algorithm
+
+    database = build_imdb_database(scale=0.5)
+    query = job_queries(families=[6])[0]
+    report = make_algorithm("QuerySplit", database).run(query)
+    print(report.total_time, report.final_table.to_rows())
+"""
+
+from repro.report import ExecutionReport, IterationRecord, WorkloadResult
+
+__version__ = "1.0.0"
+
+__all__ = ["ExecutionReport", "IterationRecord", "WorkloadResult", "__version__"]

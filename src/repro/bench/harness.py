@@ -1,0 +1,72 @@
+"""Workload execution harness.
+
+The harness runs a list of queries under a named algorithm and collects the
+per-query :class:`~repro.report.ExecutionReport` objects into a
+:class:`~repro.report.WorkloadResult`.  Every experiment module builds on it.
+
+Measured time is the executor wall-clock time plus materialization and
+statistics-collection time; planner time is excluded for *all* algorithms
+because the pure-Python DP planner is disproportionately slow compared to
+PostgreSQL's C planner and would otherwise dominate the measurements (see
+EXPERIMENTS.md for the full accounting discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.qsa import QSAStrategy
+from repro.core.ssa import CostFunction
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.plan.logical import Query
+from repro.report import WorkloadResult
+from repro.reopt.registry import make_algorithm
+from repro.storage.database import Database
+
+
+@dataclass
+class HarnessConfig:
+    """Shared knobs for a harness run."""
+
+    timeout_seconds: float | None = 30.0
+    collect_statistics: bool = True
+    qsa_strategy: QSAStrategy = QSAStrategy.FK_CENTER
+    cost_function: CostFunction = CostFunction.PHI4
+    #: Optional factory producing the cardinality estimator driving the
+    #: optimizer (used by the CE-noise robustness study).
+    estimator_factory: Callable[[Database], CardinalityEstimator] | None = None
+    verbose: bool = False
+
+
+def run_query(database: Database, query: Query, algorithm: str,
+              config: HarnessConfig | None = None):
+    """Run a single query under ``algorithm`` and return its report."""
+    config = config or HarnessConfig()
+    estimator = (config.estimator_factory(database)
+                 if config.estimator_factory is not None else None)
+    runner = make_algorithm(
+        algorithm, database,
+        collect_statistics=config.collect_statistics,
+        timeout_seconds=config.timeout_seconds,
+        qsa_strategy=config.qsa_strategy,
+        cost_function=config.cost_function,
+        estimator=estimator,
+    )
+    return runner.run(query)
+
+
+def run_workload(database: Database, queries: Sequence[Query], algorithm: str,
+                 config: HarnessConfig | None = None) -> WorkloadResult:
+    """Run every query in ``queries`` under ``algorithm``."""
+    config = config or HarnessConfig()
+    result = WorkloadResult(algorithm=algorithm)
+    for query in queries:
+        report = run_query(database, query, algorithm, config)
+        if config.verbose:
+            status = "TO" if report.timed_out else f"{report.total_time * 1000:8.1f} ms"
+            print(f"  [{algorithm:>10s}] {query.name:<12s} {status} "
+                  f"({report.num_iterations} iterations, "
+                  f"{report.materializations} materializations)")
+        result.reports.append(report)
+    return result

@@ -1,0 +1,61 @@
+"""Plain-text reporting helpers shared by the experiment modules.
+
+Every experiment prints its reproduction of the corresponding paper table or
+figure as an ASCII table so that the benchmark output can be compared to the
+paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.report import WorkloadResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Render a simple ASCII table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [
+        [str(h)] for h in headers]
+    widths = [max(len(value) for value in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly rendering of a workload execution time."""
+    if seconds >= 100:
+        return f"{seconds:.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def summarize_workloads(results: dict[str, WorkloadResult]) -> list[tuple]:
+    """One summary row per algorithm: time, timeouts, materializations."""
+    rows = []
+    for name, result in results.items():
+        total_mats = sum(r.materializations for r in result.reports)
+        rows.append((
+            name,
+            format_seconds(result.total_time),
+            result.timeouts,
+            total_mats,
+        ))
+    return rows
+
+
+def relative_slowdown(results: dict[str, WorkloadResult],
+                      reference: str = "Optimal") -> dict[str, float]:
+    """Per-algorithm slowdown factor relative to ``reference``."""
+    base = results[reference].total_time
+    if base <= 0:
+        return {name: float("inf") for name in results}
+    return {name: result.total_time / base for name, result in results.items()}

@@ -1,0 +1,27 @@
+"""Catalog subsystem: schema definitions, data types, and table statistics.
+
+The catalog plays the role of PostgreSQL's system catalog in the paper's
+setup: it records every table, its columns and data types, primary-key /
+foreign-key relationships (which drive the FK-Center subquery generation
+strategy of QuerySplit), and the per-column statistics that the cardinality
+estimator consumes (row counts, number of distinct values, most common
+values, and equi-depth histograms).
+"""
+
+from repro.catalog.types import DataType
+from repro.catalog.schema import Column, ForeignKey, TableSchema, Schema
+from repro.catalog.statistics import ColumnStats, TableStats, Histogram
+from repro.catalog.analyze import analyze_table, analyze_columns
+
+__all__ = [
+    "DataType",
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "Schema",
+    "ColumnStats",
+    "TableStats",
+    "Histogram",
+    "analyze_table",
+    "analyze_columns",
+]

@@ -1,0 +1,143 @@
+"""ANALYZE: compute table / column statistics from actual column data.
+
+This is the reproduction of PostgreSQL's statistics collector used by the
+paper (Section 5): after a subquery's result is materialized into a temporary
+table, QuerySplit (and the baseline re-optimizers) optionally run these
+routines so the optimizer can estimate cardinalities over the new relation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.statistics import ColumnStats, Histogram, TableStats
+from repro.catalog.types import DataType
+
+#: Number of most-common values retained per column.
+DEFAULT_MCV_SIZE = 10
+
+#: Number of histogram buckets per numeric column.
+DEFAULT_HISTOGRAM_BUCKETS = 16
+
+#: Maximum sample size used for statistics collection (rows).
+DEFAULT_SAMPLE_ROWS = 10_000
+
+
+def analyze_columns(columns: dict[str, np.ndarray],
+                    num_rows: int | None = None,
+                    mcv_size: int = DEFAULT_MCV_SIZE,
+                    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+                    sample_rows: int = DEFAULT_SAMPLE_ROWS,
+                    rng: np.random.Generator | None = None) -> TableStats:
+    """Compute full statistics for a mapping of column name -> numpy array.
+
+    Parameters
+    ----------
+    columns:
+        Column arrays (all the same length).
+    num_rows:
+        Total row count; defaults to the length of the first column.
+    mcv_size, histogram_buckets, sample_rows:
+        Statistics resolution knobs (PostgreSQL's ``default_statistics_target``
+        analogue).
+    rng:
+        Random generator used for sampling large tables; deterministic by
+        default.
+    """
+    if num_rows is None:
+        num_rows = len(next(iter(columns.values()))) if columns else 0
+    stats = TableStats(num_rows=num_rows)
+    if num_rows == 0:
+        for name, values in columns.items():
+            dtype = DataType.from_numpy(np.asarray(values).dtype)
+            stats.columns[name] = ColumnStats(dtype=dtype, num_rows=0, ndv=0)
+        return stats
+
+    rng = rng or np.random.default_rng(0)
+    for name, values in columns.items():
+        values = np.asarray(values)
+        if len(values) > sample_rows:
+            idx = rng.choice(len(values), size=sample_rows, replace=False)
+            sample = values[idx]
+        else:
+            sample = values
+        stats.columns[name] = _analyze_column(
+            sample, total_rows=num_rows, mcv_size=mcv_size,
+            histogram_buckets=histogram_buckets)
+    return stats
+
+
+def analyze_table(table, **kwargs) -> TableStats:
+    """Compute full statistics for a :class:`repro.storage.table.DataTable`."""
+    return analyze_columns(dict(table.columns), num_rows=table.num_rows, **kwargs)
+
+
+def _analyze_column(sample: np.ndarray, total_rows: int,
+                    mcv_size: int, histogram_buckets: int) -> ColumnStats:
+    """Analyze one column sample, scaling counts up to ``total_rows``."""
+    dtype = DataType.from_numpy(sample.dtype)
+    sample_size = len(sample)
+    if sample_size == 0:
+        return ColumnStats(dtype=dtype, num_rows=total_rows, ndv=0)
+
+    if dtype is DataType.STRING:
+        null_mask = np.array([v is None for v in sample], dtype=bool)
+    elif dtype is DataType.FLOAT:
+        null_mask = np.isnan(sample.astype(float))
+    else:
+        null_mask = np.zeros(sample_size, dtype=bool)
+    non_null = sample[~null_mask]
+    null_fraction = float(null_mask.mean()) if sample_size else 0.0
+
+    if len(non_null) == 0:
+        return ColumnStats(dtype=dtype, num_rows=total_rows, ndv=0,
+                           null_fraction=null_fraction)
+
+    uniques, counts = np.unique(non_null, return_counts=True)
+    sample_ndv = len(uniques)
+    ndv = _scale_ndv(sample_ndv, len(non_null), int(total_rows * (1 - null_fraction)))
+
+    order = np.argsort(counts)[::-1]
+    top = order[:mcv_size]
+    mcv_values = [uniques[i] for i in top if counts[i] > 1]
+    mcv_fractions = [float(counts[i]) / len(non_null) for i in top if counts[i] > 1]
+
+    min_value = max_value = None
+    histogram = None
+    if dtype.is_numeric:
+        numeric = non_null.astype(float)
+        min_value = float(numeric.min())
+        max_value = float(numeric.max())
+        histogram = Histogram.from_values(numeric, num_buckets=histogram_buckets)
+
+    return ColumnStats(
+        dtype=dtype,
+        num_rows=total_rows,
+        null_fraction=null_fraction,
+        ndv=ndv,
+        min_value=min_value,
+        max_value=max_value,
+        mcv_values=mcv_values,
+        mcv_fractions=mcv_fractions,
+        histogram=histogram,
+    )
+
+
+def _scale_ndv(sample_ndv: int, sample_rows: int, total_rows: int) -> int:
+    """Scale a sample NDV to the full table (Haas & Stokes style estimator).
+
+    When every sampled value is distinct we assume the column is (nearly)
+    unique; when there are repeats we scale the distinct count by the ratio
+    of unseen rows, capped at the total row count.
+    """
+    if sample_rows == 0 or total_rows == 0:
+        return 0
+    if sample_rows >= total_rows:
+        return sample_ndv
+    if sample_ndv == sample_rows:
+        return total_rows
+    # Duj1 estimator: n*d / (n - f1 + f1*n/N) simplified with f1 approximated
+    # by the number of values seen exactly once.
+    ratio = total_rows / sample_rows
+    estimate = int(min(total_rows, round(sample_ndv * min(ratio, 1 + (ratio - 1) * 0.5))))
+    return max(estimate, sample_ndv)

@@ -1,0 +1,79 @@
+"""Column data types supported by the engine.
+
+The engine is columnar and numpy-backed, so each logical data type maps to a
+numpy storage dtype.  Only the types actually needed by the JOB / TPC-H / DSB
+workloads are supported: 64-bit integers, double-precision floats, and
+variable-length strings (stored as numpy object arrays).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DataType(enum.Enum):
+    """Logical column data type."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Return the numpy dtype used to store columns of this type."""
+        if self is DataType.INT:
+            return np.dtype(np.int64)
+        if self is DataType.FLOAT:
+            return np.dtype(np.float64)
+        return np.dtype(object)
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for INT and FLOAT columns (histogram-friendly types)."""
+        return self in (DataType.INT, DataType.FLOAT)
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "DataType":
+        """Infer the logical type of an existing numpy array dtype."""
+        if np.issubdtype(dtype, np.integer):
+            return cls.INT
+        if np.issubdtype(dtype, np.floating):
+            return cls.FLOAT
+        return cls.STRING
+
+
+def coerce_array(values, dtype: DataType) -> np.ndarray:
+    """Coerce a Python sequence or numpy array to the storage dtype.
+
+    Parameters
+    ----------
+    values:
+        Any sequence of values (list, tuple, numpy array).
+    dtype:
+        Target logical type.
+
+    Returns
+    -------
+    numpy.ndarray with the storage dtype for ``dtype``.
+    """
+    arr = np.asarray(values)
+    if dtype is DataType.STRING:
+        if arr.dtype == object:
+            return arr
+        return arr.astype(object)
+    return arr.astype(dtype.numpy_dtype)
+
+
+def type_of_value(value) -> DataType:
+    """Infer the logical type of a single Python literal."""
+    if isinstance(value, bool):
+        raise TypeError("boolean literals are not supported")
+    if isinstance(value, (int, np.integer)):
+        return DataType.INT
+    if isinstance(value, (float, np.floating)):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.STRING
+    raise TypeError(f"unsupported literal type: {type(value)!r}")

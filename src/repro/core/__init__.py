@@ -1,0 +1,33 @@
+"""QuerySplit: the paper's primary contribution.
+
+* :mod:`repro.core.join_graph` -- the directed join graph built from
+  primary/foreign-key relationships (Section 4.1, Figure 8);
+* :mod:`repro.core.qsa` -- the Query Splitting Algorithm with the FK-Center,
+  PK-Center, and MinSubquery strategies;
+* :mod:`repro.core.ssa` -- the Subquery Selection Algorithm with the cost
+  functions Phi1..Phi5 (Table 2) and the ``global_deep`` baseline policy;
+* :mod:`repro.core.splitter` -- the QuerySplit driver loop of Figure 5
+  (execute, materialize, substitute, re-optimize);
+* :mod:`repro.core.subquery` -- subquery covering checks (Definition 1);
+* :mod:`repro.core.nonspj` -- the non-SPJ extension of Section 3.3.
+"""
+
+from repro.core.join_graph import JoinGraph, build_join_graph
+from repro.core.qsa import QSAStrategy, generate_subqueries
+from repro.core.ssa import CostFunction, SSA_FUNCTIONS, select_subquery
+from repro.core.subquery import covers, assert_covers
+from repro.core.splitter import QuerySplitConfig, QuerySplitExecutor
+
+__all__ = [
+    "JoinGraph",
+    "build_join_graph",
+    "QSAStrategy",
+    "generate_subqueries",
+    "CostFunction",
+    "SSA_FUNCTIONS",
+    "select_subquery",
+    "covers",
+    "assert_covers",
+    "QuerySplitConfig",
+    "QuerySplitExecutor",
+]

@@ -1,0 +1,160 @@
+"""Directed join graphs (Section 4.1, Figure 8 of the paper).
+
+Every relation referenced by the query becomes a vertex; every equi-join
+predicate becomes an edge.  Edges derived from primary/foreign-key joins are
+directed from the referencing side (the *R-relation*, i.e. "relationship" /
+fact table) to the referenced side (the *E-relation*, i.e. "entity" /
+dimension table); joins between relations of the same kind -- or joins that
+are not PK-FK joins at all -- are bidirectional.
+
+Redundant join predicates that close cycles in the graph (typically equality
+predicates implied by transitivity, such as the ``ci.movie_id = mk.movie_id``
+edge of JOB query 6d) are removed, preferring to drop bidirectional edges,
+exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.catalog.schema import Schema
+from repro.plan.expressions import JoinPredicate
+from repro.plan.logical import SPJQuery
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One edge of the directed join graph."""
+
+    source: str
+    target: str
+    predicate: JoinPredicate
+    bidirectional: bool = False
+    kind: str = "other"
+
+    def endpoints(self) -> frozenset[str]:
+        """The two vertices the edge connects."""
+        return frozenset((self.source, self.target))
+
+
+@dataclass
+class JoinGraph:
+    """The directed join graph of an SPJ query."""
+
+    vertices: tuple[str, ...]
+    edges: list[JoinEdge] = field(default_factory=list)
+    removed_edges: list[JoinEdge] = field(default_factory=list)
+
+    def outgoing(self, vertex: str) -> list[JoinEdge]:
+        """Edges leaving ``vertex`` (bidirectional edges leave both endpoints)."""
+        result = []
+        for edge in self.edges:
+            if edge.source == vertex:
+                result.append(edge)
+            elif edge.bidirectional and edge.target == vertex:
+                result.append(edge)
+        return result
+
+    def incoming(self, vertex: str) -> list[JoinEdge]:
+        """Edges entering ``vertex`` (bidirectional edges enter both endpoints)."""
+        result = []
+        for edge in self.edges:
+            if edge.target == vertex:
+                result.append(edge)
+            elif edge.bidirectional and edge.source == vertex:
+                result.append(edge)
+        return result
+
+    def neighbors_out(self, vertex: str) -> list[str]:
+        """Vertices reachable over outgoing edges of ``vertex``."""
+        targets = []
+        for edge in self.outgoing(vertex):
+            other = edge.target if edge.source == vertex else edge.source
+            if other not in targets:
+                targets.append(other)
+        return targets
+
+    def centers(self) -> list[str]:
+        """Vertices with at least one outgoing edge (subquery centers)."""
+        return [v for v in self.vertices if self.outgoing(v)]
+
+    def isolated(self) -> list[str]:
+        """Vertices with no edge at all (cross-product relations)."""
+        connected = set()
+        for edge in self.edges:
+            connected.add(edge.source)
+            connected.add(edge.target)
+        return [v for v in self.vertices if v not in connected]
+
+    def reversed(self) -> "JoinGraph":
+        """The graph with all directed edges reversed (PK-Center strategy)."""
+        return JoinGraph(
+            vertices=self.vertices,
+            edges=[
+                JoinEdge(source=e.target, target=e.source, predicate=e.predicate,
+                         bidirectional=e.bidirectional, kind=e.kind)
+                for e in self.edges
+            ],
+            removed_edges=list(self.removed_edges),
+        )
+
+
+def build_join_graph(query: SPJQuery, schema: Schema,
+                     remove_redundant: bool = True) -> JoinGraph:
+    """Build the directed join graph of ``query`` using PK/FK metadata."""
+    vertices = tuple(r.alias for r in query.relations)
+    table_of = {r.alias: r.table_name for r in query.relations}
+    edges: list[JoinEdge] = []
+    for pred in query.join_predicates:
+        left_alias, right_alias = pred.left.alias, pred.right.alias
+        left_table = table_of.get(left_alias, left_alias)
+        right_table = table_of.get(right_alias, right_alias)
+        kind = schema.join_kind(left_table, pred.left.column,
+                                right_table, pred.right.column)
+        if kind == "pk-fk":
+            if schema.is_fk_reference(left_table, pred.left.column,
+                                      right_table, pred.right.column):
+                source, target = left_alias, right_alias
+            else:
+                source, target = right_alias, left_alias
+            edges.append(JoinEdge(source=source, target=target, predicate=pred,
+                                  bidirectional=False, kind=kind))
+        else:
+            edges.append(JoinEdge(source=left_alias, target=right_alias,
+                                  predicate=pred, bidirectional=True, kind=kind))
+
+    graph = JoinGraph(vertices=vertices, edges=edges)
+    if remove_redundant:
+        _remove_redundant_edges(graph)
+    return graph
+
+
+def _remove_redundant_edges(graph: JoinGraph) -> None:
+    """Break cycles in the (undirected view of the) join graph.
+
+    Edges are removed one at a time until the graph is acyclic, preferring
+    bidirectional (non-PK-FK) edges, exactly as the paper prescribes for
+    join cycles like ``mk -- t -- ci -- mk`` in JOB query 6d.
+    """
+    undirected = nx.MultiGraph()
+    undirected.add_nodes_from(graph.vertices)
+    for i, edge in enumerate(graph.edges):
+        undirected.add_edge(edge.source, edge.target, key=i)
+
+    while True:
+        try:
+            cycle = nx.find_cycle(undirected)
+        except nx.NetworkXNoCycle:
+            break
+        # Choose the edge of the cycle to remove: bidirectional edges first.
+        cycle_keys = [key for (_, _, key) in cycle]
+        cycle_edges = [(key, graph.edges[key]) for key in cycle_keys]
+        bidirectional = [item for item in cycle_edges if item[1].bidirectional]
+        key, edge = (bidirectional or cycle_edges)[0]
+        undirected.remove_edge(edge.source, edge.target, key=key)
+        graph.removed_edges.append(edge)
+
+    kept_keys = {key for (_, _, key) in undirected.edges(keys=True)}
+    graph.edges[:] = [edge for i, edge in enumerate(graph.edges) if i in kept_keys]

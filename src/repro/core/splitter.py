@@ -1,0 +1,241 @@
+"""The QuerySplit driver loop (Figure 5 of the paper).
+
+The :class:`QuerySplitExecutor` implements the full algorithm:
+
+1. run the Query Splitting Algorithm to obtain a covering subquery set;
+2. at every iteration ask the optimizer for the estimated cost ``C(q)`` and
+   output cardinality ``S(q)`` of every remaining subquery, and select the
+   one minimizing the configured cost function Phi;
+3. execute it; if it overlaps with remaining subqueries, materialize the
+   result as a temporary table (optionally collecting statistics) and
+   substitute it into the overlapping subqueries; otherwise push the result
+   to the result set;
+4. repeat until the subquery set is empty, then merge the result set by
+   Cartesian product and apply the query's final projection / aggregation.
+
+Non-SPJ queries are handled via :mod:`repro.core.nonspj`: QuerySplit runs on
+each SPJ block and the non-SPJ operators consume the materialized results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.analyze import analyze_columns
+from repro.catalog.statistics import TableStats
+from repro.core.nonspj import execute_query_tree
+from repro.core.qsa import QSAStrategy, generate_subqueries
+from repro.core.ssa import CostFunction, SubqueryEstimate, select_subquery
+from repro.executor.executor import (
+    ExecutionError,
+    Executor,
+    _scalar_aggregate,
+    group_aggregate,
+)
+from repro.executor.joins import JoinOverflowError
+from repro.optimizer.optimizer import Optimizer
+from repro.plan.expressions import ColumnRef
+from repro.plan.logical import Query, RelationRef, SPJQuery
+from repro.plan.physical import PhysicalPlan
+from repro.report import ExecutionReport, IterationRecord
+from repro.storage.database import Database
+from repro.storage.table import DataTable
+
+
+class QueryTimeout(Exception):
+    """Raised internally when a query exceeds its execution-time budget."""
+
+
+@dataclass
+class QuerySplitConfig:
+    """Configuration of the QuerySplit algorithm."""
+
+    qsa_strategy: QSAStrategy = QSAStrategy.FK_CENTER
+    cost_function: CostFunction = CostFunction.PHI4
+    collect_statistics: bool = True
+    timeout_seconds: float | None = None
+
+
+class QuerySplitExecutor:
+    """Runs queries with the QuerySplit re-optimization algorithm."""
+
+    name = "QuerySplit"
+
+    def __init__(self, database: Database, optimizer: Optimizer,
+                 executor: Executor | None = None,
+                 config: QuerySplitConfig | None = None):
+        self.database = database
+        self.optimizer = optimizer
+        self.executor = executor or Executor(database)
+        self.config = config or QuerySplitConfig()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> ExecutionReport:
+        """Execute ``query`` and return the execution report."""
+        report = ExecutionReport(query_name=query.name, algorithm=self.name,
+                                 total_time=0.0)
+        self._deadline = (time.perf_counter() + self.config.timeout_seconds
+                          if self.config.timeout_seconds is not None else None)
+        planner_before = self.optimizer.invocations
+        try:
+            final = execute_query_tree(
+                query.root, lambda spj: self._run_spj(spj, report))
+            report.final_table = final
+            report.final_rows = final.num_rows
+        except (QueryTimeout, JoinOverflowError, ExecutionError):
+            # Exceeding the join-size cap or the time budget is the Python
+            # engine's analogue of the paper's 1000 s query timeout.
+            report.timed_out = True
+            if self.config.timeout_seconds is not None:
+                report.total_time = max(report.total_time, self.config.timeout_seconds)
+        finally:
+            report.planner_invocations = self.optimizer.invocations - planner_before
+            self.database.drop_temp_tables()
+        return report
+
+    # ------------------------------------------------------------------
+    # SPJ execution (the QuerySplit loop proper)
+    # ------------------------------------------------------------------
+    def _run_spj(self, spj: SPJQuery, report: ExecutionReport) -> DataTable:
+        subqueries = generate_subqueries(spj, self.database.schema,
+                                         self.config.qsa_strategy)
+        global_plan = None
+        if self.config.cost_function is CostFunction.GLOBAL_DEEP:
+            global_plan = self.optimizer.plan(spj)
+
+        remaining = list(subqueries)
+        result_tables: list[DataTable] = []
+        consumed: set[str] = set()
+        iteration = len(report.iterations)
+
+        while remaining:
+            self._check_timeout(report)
+            estimates = [
+                SubqueryEstimate(sq, *self.optimizer.estimate(sq))
+                for sq in remaining
+            ]
+            idx = select_subquery(estimates, self.config.cost_function,
+                                  global_plan, frozenset(consumed))
+            subquery = remaining.pop(idx)
+
+            extra = self._columns_to_retain(subquery, remaining, spj)
+            plan = self.optimizer.plan(subquery)
+            result = self.executor.execute(plan, extra_columns=extra)
+            report.total_time += result.wall_time
+
+            overlapping = [
+                q for q in remaining
+                if q.covered_aliases() & subquery.covered_aliases()
+            ]
+            materialized = bool(overlapping)
+            stats_collected = False
+            analyze_time = 0.0
+            if overlapping:
+                stats, analyze_time, stats_collected = self._collect_stats(result.table)
+                report.total_time += analyze_time
+                if stats_collected:
+                    report.stats_collections += 1
+                temp_name = self.database.register_temp(
+                    result.table, stats, subquery.covered_aliases())
+                temp_ref = RelationRef.temp(temp_name, subquery.covered_aliases())
+                remaining = self._substitute(remaining, temp_ref)
+                if not remaining:
+                    # Every other subquery became redundant after substitution:
+                    # the temporary we just built carries the final data.
+                    result_tables.append(result.table)
+            else:
+                result_tables.append(result.table)
+
+            consumed.update(subquery.covered_aliases())
+            report.iterations.append(IterationRecord(
+                index=iteration,
+                description=subquery.name,
+                aliases=subquery.covered_aliases(),
+                result_rows=result.table.num_rows,
+                wall_time=result.wall_time + analyze_time,
+                memory_bytes=result.table.memory_bytes,
+                materialized=materialized,
+                replanned=True,
+                stats_collected=stats_collected,
+            ))
+            iteration += 1
+
+        finalize_start = time.perf_counter()
+        final = self._finalize(result_tables, spj)
+        report.total_time += time.perf_counter() - finalize_start
+        return final
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_timeout(self, report: ExecutionReport) -> None:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise QueryTimeout()
+
+    def _collect_stats(self, table: DataTable) -> tuple[TableStats, float, bool]:
+        start = time.perf_counter()
+        if self.config.collect_statistics:
+            stats = analyze_columns(dict(table.columns), num_rows=table.num_rows)
+            return stats, time.perf_counter() - start, True
+        return (TableStats.row_count_only(table.num_rows),
+                time.perf_counter() - start, False)
+
+    @staticmethod
+    def _substitute(remaining: list[SPJQuery], temp: RelationRef) -> list[SPJQuery]:
+        substituted = []
+        for q in remaining:
+            if q.covered_aliases() & temp.covered_aliases:
+                q = q.substitute(temp)
+            # Drop subqueries reduced to a bare re-scan of the temporary.
+            if (len(q.relations) == 1 and q.relations[0].is_temp
+                    and not q.filters and not q.join_predicates):
+                continue
+            substituted.append(q)
+        return substituted
+
+    @staticmethod
+    def _columns_to_retain(subquery: SPJQuery, remaining: list[SPJQuery],
+                           spj: SPJQuery) -> tuple[ColumnRef, ...]:
+        """Columns of ``subquery`` that later iterations or the output need."""
+        covered = subquery.covered_aliases()
+        needed: list[ColumnRef] = []
+        for ref in spj.output_columns():
+            if ref.alias in covered:
+                needed.append(ref)
+        for other in remaining:
+            for pred in other.join_predicates:
+                for ref in (pred.left, pred.right):
+                    if ref.alias in covered:
+                        needed.append(ref)
+            for pred in other.filters:
+                for ref in pred.column_refs():
+                    if ref.alias in covered:
+                        needed.append(ref)
+        return tuple(dict.fromkeys(needed))
+
+    def _finalize(self, result_tables: list[DataTable], spj: SPJQuery) -> DataTable:
+        """Cartesian-merge the result set and apply the final projection."""
+        if not result_tables:
+            return DataTable(name=spj.name, columns={})
+        columns = dict(result_tables[0].columns)
+        rows = result_tables[0].num_rows
+        for table in result_tables[1:]:
+            other_rows = table.num_rows
+            columns = {
+                name: np.repeat(arr, other_rows) for name, arr in columns.items()}
+            for name, arr in table.columns.items():
+                columns[name] = np.tile(arr, rows)
+            rows = rows * other_rows
+        if spj.aggregates:
+            return (_scalar_aggregate(columns, spj.aggregates)
+                    if not spj.projections
+                    else group_aggregate(columns, spj.projections, spj.aggregates))
+        if spj.projections:
+            wanted = {ref.qualified for ref in spj.projections}
+            columns = {name: arr for name, arr in columns.items() if name in wanted}
+        return DataTable(name=spj.name, columns=columns)

@@ -1,0 +1,100 @@
+"""Subquery covering checks (Definition 1 of the paper).
+
+A set of subqueries Q *covers* an SPJ query q when
+
+1. the union of the subqueries' relations equals q's relations, and
+2. the union of the subqueries' predicates logically implies q's predicates.
+
+Covering is the property that makes the QuerySplit loop produce the same
+result as executing q directly (Theorem 1); the QSA strategies all guarantee
+it by construction, and the checks here are used both as runtime assertions
+and as the target of the property-based tests.
+"""
+
+from __future__ import annotations
+
+from repro.plan.logical import SPJQuery
+
+
+def covers(subqueries: list[SPJQuery], query: SPJQuery) -> bool:
+    """True if ``subqueries`` covers ``query`` per Definition 1."""
+    return not coverage_gaps(subqueries, query)
+
+
+def coverage_gaps(subqueries: list[SPJQuery], query: SPJQuery) -> list[str]:
+    """Human-readable descriptions of every violated covering condition."""
+    problems: list[str] = []
+
+    covered_aliases: set[str] = set()
+    for sub in subqueries:
+        covered_aliases.update(sub.covered_aliases())
+    missing_aliases = set(query.covered_aliases()) - covered_aliases
+    extra_aliases = covered_aliases - set(query.covered_aliases())
+    if missing_aliases:
+        problems.append(f"relations not covered: {sorted(missing_aliases)}")
+    if extra_aliases:
+        problems.append(f"subqueries reference unknown relations: {sorted(extra_aliases)}")
+
+    covered_filters = {pred for sub in subqueries for pred in sub.filters}
+    for pred in query.filters:
+        if pred not in covered_filters:
+            problems.append(f"filter not covered: {pred}")
+
+    covered_joins = {_canonical_join(pred) for sub in subqueries
+                     for pred in sub.join_predicates}
+    implied = _equivalence_closure(covered_joins)
+    for pred in query.join_predicates:
+        if _canonical_join(pred) not in implied:
+            problems.append(f"join predicate not covered/implied: {pred}")
+    return problems
+
+
+def assert_covers(subqueries: list[SPJQuery], query: SPJQuery) -> None:
+    """Raise ``AssertionError`` listing every covering violation, if any."""
+    problems = coverage_gaps(subqueries, query)
+    if problems:
+        raise AssertionError(
+            f"subquery set does not cover query {query.name!r}: " + "; ".join(problems))
+
+
+def _canonical_join(pred) -> frozenset:
+    """Order-insensitive representation of an equi-join predicate."""
+    return frozenset(((pred.left.alias, pred.left.column),
+                      (pred.right.alias, pred.right.column)))
+
+
+def _equivalence_closure(joins: set[frozenset]) -> set[frozenset]:
+    """Close a set of equality predicates under transitivity.
+
+    ``a = b`` and ``b = c`` imply ``a = c``; the closure is what "logically
+    implies" means for the equi-join predicates handled here.
+    """
+    # Union-find over the columns appearing in the predicates.
+    parent: dict[tuple[str, str], tuple[str, str]] = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for pred in joins:
+        cols = list(pred)
+        if len(cols) == 2:
+            union(cols[0], cols[1])
+
+    closure: set[frozenset] = set(joins)
+    groups: dict[tuple[str, str], list[tuple[str, str]]] = {}
+    for col in parent:
+        groups.setdefault(find(col), []).append(col)
+    for members in groups.values():
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                closure.add(frozenset((a, b)))
+    return closure

@@ -1,0 +1,17 @@
+"""Vectorized query executor.
+
+The executor evaluates physical plans over the in-memory columnar tables.
+Operators are vectorized over numpy arrays (the practical substitute for
+PostgreSQL's tuple-at-a-time Volcano executor): filters become boolean
+masks, equi-joins become sort/searchsorted matching, and index nested-loop
+joins probe the pre-built sorted indexes.
+
+Besides producing results, the executor records the *actual* cardinality and
+wall-clock time of every operator, which is the runtime feedback that all
+re-optimization algorithms consume.
+"""
+
+from repro.executor.executor import Executor, ExecutionResult
+from repro.executor.joins import equi_join_indices, multi_key_equi_join
+
+__all__ = ["Executor", "ExecutionResult", "equi_join_indices", "multi_key_equi_join"]

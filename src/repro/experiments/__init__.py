@@ -1,0 +1,23 @@
+"""Experiment modules: one per table / figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function that executes the experiment on
+the synthetic workloads, prints a plain-text reproduction of the paper's
+table or figure, and returns the underlying data so tests and benchmarks can
+assert on it.  Every ``run`` takes a ``scale`` and (where applicable) a
+``queries`` / ``families`` restriction so the full study can be executed in
+minutes on a laptop or expanded for higher fidelity.
+
+| Module                      | Paper artifact                              |
+|-----------------------------|---------------------------------------------|
+| ``table1_similarity``       | Table 1 (initial vs. optimal plan overlap)   |
+| ``table3_policies``         | Table 3 (QSA x SSA policy grid)              |
+| ``figure10_robustness``     | Figure 10 (CE-noise robustness)              |
+| ``figure11_job``            | Figure 11 (JOB end-to-end comparison)        |
+| ``table4_materialization``  | Table 4 (materialization frequency / memory) |
+| ``figure12_tpch``           | Figure 12 (TPC-H end-to-end)                 |
+| ``figure13_dsb_spj``        | Figure 13 (DSB SPJ queries)                  |
+| ``figure14_dsb_nonspj``     | Figure 14 (DSB non-SPJ queries)              |
+| ``figure15_statistics``     | Figure 15 (collect statistics or not)        |
+| ``table5_existing_costfn``  | Table 5 (existing re-opts with Phi functions)|
+| ``table6_categories``       | Table 6 + Figures 16-19 (categories, timelines)|
+"""

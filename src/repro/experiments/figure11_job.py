@@ -1,0 +1,66 @@
+"""Figure 11: end-to-end JOB execution time for QuerySplit and all baselines.
+
+The paper's headline result: QuerySplit beats every re-optimization,
+robust-query-processing, and learned-CE baseline on the Join Order
+Benchmark, lands within a few percent of the Optimal oracle-driven plan, and
+the gap widens when foreign-key indexes are available.  Both index
+configurations (PK-only, PK+FK) are evaluated.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import HarnessConfig, run_workload
+from repro.bench.reporting import format_seconds, format_table
+from repro.report import WorkloadResult
+from repro.storage.database import IndexConfig
+from repro.workloads.imdb import build_imdb_database
+from repro.workloads.job_queries import job_queries
+
+#: The algorithms shown in Figure 11, in the paper's order.
+DEFAULT_ALGORITHMS = (
+    "QuerySplit", "Optimal", "Default", "Reopt", "Pop", "IEF", "Perron19",
+    "USE", "Pessi.", "FS", "OptRange", "NeuroCard", "DeepDB", "MSCN",
+)
+
+#: A cheaper default set for quick runs (skips the oracle-backed baselines).
+FAST_ALGORITHMS = (
+    "QuerySplit", "Default", "Reopt", "Pop", "IEF", "Perron19", "USE", "FS",
+)
+
+
+def run(scale: float = 1.0, families: list[int] | None = None,
+        algorithms: tuple[str, ...] = FAST_ALGORITHMS,
+        index_configs: tuple[IndexConfig, ...] = (IndexConfig.PK_ONLY,
+                                                  IndexConfig.PK_FK),
+        timeout_seconds: float = 30.0,
+        verbose: bool = True) -> dict[str, dict[str, WorkloadResult]]:
+    """Run the Figure 11 comparison.
+
+    Returns ``{index_config_name: {algorithm: WorkloadResult}}``.
+    """
+    queries = job_queries(families=families)
+    results: dict[str, dict[str, WorkloadResult]] = {}
+    for index_config in index_configs:
+        database = build_imdb_database(scale=scale, index_config=index_config)
+        config = HarnessConfig(timeout_seconds=timeout_seconds)
+        per_algorithm: dict[str, WorkloadResult] = {}
+        for algorithm in algorithms:
+            per_algorithm[algorithm] = run_workload(database, queries, algorithm,
+                                                    config)
+        results[index_config.value] = per_algorithm
+
+    if verbose:
+        for index_name, per_algorithm in results.items():
+            rows = []
+            for algorithm, result in per_algorithm.items():
+                rows.append([
+                    algorithm,
+                    format_seconds(result.total_time),
+                    result.timeouts or "",
+                ])
+            rows.sort(key=lambda r: r[0])
+            print(format_table(
+                ["Algorithm", "JOB execution time", "Timeouts"], rows,
+                title=f"Figure 11: JOB end-to-end time ({index_name} indexes)"))
+            print()
+    return results

@@ -1,0 +1,52 @@
+"""Figure 12: TPC-H execution time (the star-schema worst case).
+
+TPC-H queries are star-schema and non-SPJ, so FK-Center often produces a
+single subquery and QuerySplit rarely re-optimizes; the paper's point is
+that QuerySplit's low overhead keeps it at least as fast as the alternatives
+even where re-optimization cannot help.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import HarnessConfig, run_workload
+from repro.bench.reporting import format_seconds, format_table
+from repro.report import WorkloadResult
+from repro.storage.database import IndexConfig
+from repro.workloads.tpch import build_tpch_database, tpch_queries
+
+#: Algorithms shown in Figure 12 (only those supporting non-SPJ queries).
+DEFAULT_ALGORITHMS = ("QuerySplit", "Default", "Reopt", "Pop", "IEF",
+                      "Perron19", "FS", "OptRange")
+
+
+def run(scale: float = 1.0,
+        algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+        index_configs: tuple[IndexConfig, ...] = (IndexConfig.PK_ONLY,
+                                                  IndexConfig.PK_FK),
+        timeout_seconds: float = 60.0,
+        query_numbers: list[int] | None = None,
+        verbose: bool = True) -> dict[str, dict[str, WorkloadResult]]:
+    """Run the TPC-H comparison; returns ``{index_config: {algorithm: result}}``."""
+    queries = tpch_queries()
+    if query_numbers is not None:
+        wanted = {f"tpch-q{n}" for n in query_numbers}
+        queries = [q for q in queries if q.name in wanted]
+
+    results: dict[str, dict[str, WorkloadResult]] = {}
+    for index_config in index_configs:
+        database = build_tpch_database(scale=scale, index_config=index_config)
+        config = HarnessConfig(timeout_seconds=timeout_seconds)
+        results[index_config.value] = {
+            algorithm: run_workload(database, queries, algorithm, config)
+            for algorithm in algorithms
+        }
+
+    if verbose:
+        for index_name, per_algorithm in results.items():
+            rows = [[name, format_seconds(res.total_time), res.timeouts or ""]
+                    for name, res in per_algorithm.items()]
+            print(format_table(
+                ["Algorithm", "TPC-H execution time", "Timeouts"], rows,
+                title=f"Figure 12: TPC-H end-to-end time ({index_name} indexes)"))
+            print()
+    return results

@@ -1,0 +1,46 @@
+"""Figure 13: DSB SPJ queries.
+
+DSB keeps the star schema of TPC-DS but injects data skew, so estimates are
+wrong even though all joins are PK-FK.  The paper shows QuerySplit close to
+Optimal, with the learned estimators becoming more competitive than on JOB
+because DSB filters are mostly numeric.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import HarnessConfig, run_workload
+from repro.bench.reporting import format_seconds, format_table
+from repro.report import WorkloadResult
+from repro.storage.database import IndexConfig
+from repro.workloads.dsb import build_dsb_database, dsb_spj_queries
+
+DEFAULT_ALGORITHMS = ("QuerySplit", "Default", "Reopt", "Pop", "IEF",
+                      "Perron19", "USE", "Pessi.", "FS")
+
+
+def run(scale: float = 1.0,
+        algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+        index_configs: tuple[IndexConfig, ...] = (IndexConfig.PK_ONLY,
+                                                  IndexConfig.PK_FK),
+        timeout_seconds: float = 60.0,
+        verbose: bool = True) -> dict[str, dict[str, WorkloadResult]]:
+    """Run the DSB SPJ comparison; returns ``{index_config: {algorithm: result}}``."""
+    queries = dsb_spj_queries()
+    results: dict[str, dict[str, WorkloadResult]] = {}
+    for index_config in index_configs:
+        database = build_dsb_database(scale=scale, index_config=index_config)
+        config = HarnessConfig(timeout_seconds=timeout_seconds)
+        results[index_config.value] = {
+            algorithm: run_workload(database, queries, algorithm, config)
+            for algorithm in algorithms
+        }
+
+    if verbose:
+        for index_name, per_algorithm in results.items():
+            rows = [[name, format_seconds(res.total_time), res.timeouts or ""]
+                    for name, res in per_algorithm.items()]
+            print(format_table(
+                ["Algorithm", "DSB SPJ execution time", "Timeouts"], rows,
+                title=f"Figure 13: DSB SPJ queries ({index_name} indexes)"))
+            print()
+    return results

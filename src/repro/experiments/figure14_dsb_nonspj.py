@@ -1,0 +1,44 @@
+"""Figure 14: DSB non-SPJ queries.
+
+Exercises the non-SPJ extension of Section 3.3: aggregations and unions are
+segmented out and each SPJ island is executed by the algorithm under test.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import HarnessConfig, run_workload
+from repro.bench.reporting import format_seconds, format_table
+from repro.report import WorkloadResult
+from repro.storage.database import IndexConfig
+from repro.workloads.dsb import build_dsb_database, dsb_nonspj_queries
+
+DEFAULT_ALGORITHMS = ("QuerySplit", "Default", "Reopt", "Pop", "IEF",
+                      "Perron19", "FS", "OptRange")
+
+
+def run(scale: float = 1.0,
+        algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+        index_configs: tuple[IndexConfig, ...] = (IndexConfig.PK_ONLY,
+                                                  IndexConfig.PK_FK),
+        timeout_seconds: float = 60.0,
+        verbose: bool = True) -> dict[str, dict[str, WorkloadResult]]:
+    """Run the DSB non-SPJ comparison."""
+    queries = dsb_nonspj_queries()
+    results: dict[str, dict[str, WorkloadResult]] = {}
+    for index_config in index_configs:
+        database = build_dsb_database(scale=scale, index_config=index_config)
+        config = HarnessConfig(timeout_seconds=timeout_seconds)
+        results[index_config.value] = {
+            algorithm: run_workload(database, queries, algorithm, config)
+            for algorithm in algorithms
+        }
+
+    if verbose:
+        for index_name, per_algorithm in results.items():
+            rows = [[name, format_seconds(res.total_time), res.timeouts or ""]
+                    for name, res in per_algorithm.items()]
+            print(format_table(
+                ["Algorithm", "DSB non-SPJ execution time", "Timeouts"], rows,
+                title=f"Figure 14: DSB non-SPJ queries ({index_name} indexes)"))
+            print()
+    return results

@@ -1,0 +1,51 @@
+"""Figure 15: collecting statistics on materialized results, or not.
+
+Every re-optimization algorithm is run twice on JOB: once analyzing every
+materialized temporary (NDV, MCVs, histograms) and once passing only the row
+count to the optimizer.  The paper's finding: the answer is
+algorithm-dependent -- Reopt/Pop/IEF need the statistics, while Perron19 and
+QuerySplit barely benefit because their subqueries are simple (at most two
+relations, or mostly PK-FK joins whose estimation only needs row counts).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import HarnessConfig, run_workload
+from repro.bench.reporting import format_seconds, format_table
+from repro.report import WorkloadResult
+from repro.reopt.registry import REOPT_ALGORITHMS
+from repro.storage.database import IndexConfig
+from repro.workloads.imdb import build_imdb_database
+from repro.workloads.job_queries import job_queries
+
+
+def run(scale: float = 1.0, families: list[int] | None = None,
+        algorithms: tuple[str, ...] = REOPT_ALGORITHMS,
+        timeout_seconds: float = 30.0,
+        verbose: bool = True) -> dict[tuple[str, bool], WorkloadResult]:
+    """Run each algorithm with and without statistics collection."""
+    database = build_imdb_database(scale=scale, index_config=IndexConfig.PK_FK)
+    queries = job_queries(families=families)
+
+    results: dict[tuple[str, bool], WorkloadResult] = {}
+    for algorithm in algorithms:
+        for collect in (True, False):
+            config = HarnessConfig(timeout_seconds=timeout_seconds,
+                                   collect_statistics=collect)
+            results[(algorithm, collect)] = run_workload(database, queries,
+                                                         algorithm, config)
+
+    if verbose:
+        rows = []
+        for algorithm in algorithms:
+            with_stats = results[(algorithm, True)]
+            without = results[(algorithm, False)]
+            rows.append([
+                algorithm,
+                format_seconds(with_stats.total_time),
+                format_seconds(without.total_time),
+            ])
+        print(format_table(
+            ["Algorithm", "With statistics", "Row count only"], rows,
+            title="Figure 15: JOB time with and without runtime statistics"))
+    return results

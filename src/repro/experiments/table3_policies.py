@@ -1,0 +1,70 @@
+"""Table 3: JOB execution time for every QSA x SSA policy combination.
+
+QuerySplit is run with each subquery-generation strategy (FK-Center,
+PK-Center, MinSubquery) combined with each subquery-selection cost function
+(Phi1..Phi5 and the global_deep baseline).  The paper finds FK-Center + Phi4
+to be the best and most robust combination.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import HarnessConfig, run_workload
+from repro.bench.reporting import format_seconds, format_table
+from repro.core.qsa import QSAStrategy
+from repro.core.ssa import CostFunction
+from repro.report import WorkloadResult
+from repro.storage.database import IndexConfig
+from repro.workloads.imdb import build_imdb_database
+from repro.workloads.job_queries import job_queries
+
+QSA_ORDER = (QSAStrategy.FK_CENTER, QSAStrategy.PK_CENTER, QSAStrategy.MIN_SUBQUERY)
+SSA_ORDER = (CostFunction.PHI1, CostFunction.PHI2, CostFunction.PHI3,
+             CostFunction.PHI4, CostFunction.PHI5, CostFunction.GLOBAL_DEEP)
+
+SSA_LABELS = {
+    CostFunction.PHI1: "Phi1: C(q)",
+    CostFunction.PHI2: "Phi2: C(q)*log(S(q))",
+    CostFunction.PHI3: "Phi3: C(q)*sqrt(S(q))",
+    CostFunction.PHI4: "Phi4: C(q)*S(q)",
+    CostFunction.PHI5: "Phi5: S(q)",
+    CostFunction.GLOBAL_DEEP: "global_deep",
+}
+
+
+def run(scale: float = 1.0, families: list[int] | None = None,
+        qsa_strategies: tuple[QSAStrategy, ...] = QSA_ORDER,
+        cost_functions: tuple[CostFunction, ...] = SSA_ORDER,
+        timeout_seconds: float = 30.0,
+        verbose: bool = True) -> dict[tuple[str, str], WorkloadResult]:
+    """Run the QSA x SSA grid and return per-combination workload results."""
+    database = build_imdb_database(scale=scale, index_config=IndexConfig.PK_FK)
+    queries = job_queries(families=families)
+
+    results: dict[tuple[str, str], WorkloadResult] = {}
+    for cost_function in cost_functions:
+        for strategy in qsa_strategies:
+            config = HarnessConfig(
+                timeout_seconds=timeout_seconds,
+                qsa_strategy=strategy,
+                cost_function=cost_function,
+            )
+            result = run_workload(database, queries, "QuerySplit", config)
+            results[(cost_function.value, strategy.value)] = result
+
+    if verbose:
+        headers = ["SSA \\ QSA"] + [s.value for s in qsa_strategies]
+        rows = []
+        for cost_function in cost_functions:
+            row = [SSA_LABELS[cost_function]]
+            for strategy in qsa_strategies:
+                result = results[(cost_function.value, strategy.value)]
+                row.append(format_seconds(result.total_time))
+            rows.append(row)
+        print(format_table(headers, rows,
+                           title="Table 3: JOB time per QSA x SSA policy"))
+    return results
+
+
+def best_combination(results: dict[tuple[str, str], WorkloadResult]) -> tuple[str, str]:
+    """The (SSA, QSA) pair with the lowest total execution time."""
+    return min(results, key=lambda key: results[key].total_time)

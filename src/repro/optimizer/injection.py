@@ -1,0 +1,51 @@
+"""Controlled cardinality-estimation error injection (Section 6.2).
+
+The robustness study perturbs true cardinalities with multiplicative
+log-normal noise::
+
+    err_card = 2 ** N(mu, sigma**2) * true_card
+
+and injects the perturbed values into the optimizer (the method of Cai et
+al. [7] in the paper).  :class:`NoisyCardinalityEstimator` wraps any other
+estimator and applies exactly that perturbation.  The noise is *deterministic
+per sub-join* (derived from a hash of the query name and the relation
+subset), so repeated estimations of the same sub-join within one run see the
+same error -- matching how a real, consistently wrong estimator behaves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.optimizer.cardinality import CardinalityEstimator, MIN_ROWS
+
+
+class NoisyCardinalityEstimator(CardinalityEstimator):
+    """Wraps an estimator and multiplies every estimate by ``2**N(mu, sigma)``."""
+
+    def __init__(self, base: CardinalityEstimator, mu: float = 0.0,
+                 sigma: float = 1.0, seed: int = 0):
+        super().__init__(base.database)
+        self.base = base
+        self.mu = mu
+        self.sigma = sigma
+        self.seed = seed
+
+    def estimate_rows(self, relations, filters, join_predicates, query_name="") -> float:
+        true_rows = self.base.estimate_rows(relations, filters, join_predicates,
+                                            query_name)
+        if len(relations) <= 1 and not join_predicates:
+            # Base-table scans are left unperturbed: the paper's noise model
+            # targets join cardinalities, where estimation errors actually
+            # originate.
+            return true_rows
+        noise = self._noise_factor(relations, query_name)
+        return max(true_rows * noise, MIN_ROWS)
+
+    def _noise_factor(self, relations, query_name: str) -> float:
+        key = query_name + "|" + ",".join(sorted(r.alias for r in relations))
+        digest = hashlib.sha256(f"{self.seed}:{key}".encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        return float(2.0 ** rng.normal(self.mu, self.sigma))

@@ -1,0 +1,61 @@
+"""Query plan representations.
+
+* :mod:`repro.plan.expressions` -- filter predicates and equi-join predicates;
+* :mod:`repro.plan.logical` -- the SPJ normal form used by QuerySplit
+  (Section 3.2 of the paper) plus non-SPJ wrapper nodes (Section 3.3);
+* :mod:`repro.plan.physical` -- physical operator trees produced by the
+  optimizer and consumed by the executor;
+* :mod:`repro.plan.similarity` -- the plan-similarity score of Section 2.2
+  (Table 1).
+"""
+
+from repro.plan.expressions import (
+    ColumnRef,
+    Comparison,
+    Between,
+    InList,
+    IsNotNull,
+    StringContains,
+    StringPrefix,
+    OrPredicate,
+    JoinPredicate,
+    Predicate,
+)
+from repro.plan.logical import (
+    RelationRef,
+    SPJQuery,
+    AggregateSpec,
+    Query,
+    AggregateNode,
+    UnionNode,
+    SPJNode,
+    QueryPlanNode,
+)
+from repro.plan.physical import PhysicalPlan, ScanNode, JoinNode, JoinMethod
+from repro.plan.similarity import plan_similarity
+
+__all__ = [
+    "ColumnRef",
+    "Comparison",
+    "Between",
+    "InList",
+    "IsNotNull",
+    "StringContains",
+    "StringPrefix",
+    "OrPredicate",
+    "JoinPredicate",
+    "Predicate",
+    "RelationRef",
+    "SPJQuery",
+    "AggregateSpec",
+    "Query",
+    "AggregateNode",
+    "UnionNode",
+    "SPJNode",
+    "QueryPlanNode",
+    "PhysicalPlan",
+    "ScanNode",
+    "JoinNode",
+    "JoinMethod",
+    "plan_similarity",
+]

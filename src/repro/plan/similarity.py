@@ -1,0 +1,56 @@
+"""Plan similarity score (Section 2.2, Table 1 of the paper).
+
+The similarity of two plans is the number of leaf relations contained in
+their largest common subtree.  Following Figure 3 of the paper:
+
+* similarity 0 -- the first joins of the two plans have no relation in
+  common;
+* similarity 1 -- the first joins share one relation (e.g. the probe side
+  scans the same table but joins a different one);
+* similarity >= 2 -- both plans compute the same intermediate result of that
+  many relations at some (non-root) join node.
+
+We implement this as: the largest *non-root* intermediate relation set
+produced by both plans; if no intermediate is shared, 1 when the deepest
+joins share at least one leaf relation and 0 otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.plan.physical import PhysicalPlan
+
+
+def plan_similarity(plan_a: PhysicalPlan, plan_b: PhysicalPlan) -> int:
+    """Similarity score between two physical plans of the same query."""
+    joins_a = plan_a.join_nodes()
+    joins_b = plan_b.join_nodes()
+    if not joins_a or not joins_b:
+        # Single-relation plans are trivially identical.
+        return len(plan_a.leaf_relations())
+
+    sets_a = plan_a.intermediate_relation_sets()
+    sets_b = plan_b.intermediate_relation_sets()
+    common = sets_a & sets_b
+    if common:
+        return max(len(s) for s in common)
+
+    first_a = _first_join_aliases(plan_a)
+    first_b = _first_join_aliases(plan_b)
+    if first_a & first_b:
+        return 1
+    return 0
+
+
+def _first_join_aliases(plan: PhysicalPlan) -> frozenset[str]:
+    """Aliases of the relations participating in the plan's deepest join."""
+    joins = plan.join_nodes()
+    # join_nodes() is post-order, so the first entry is a deepest join.
+    deepest = joins[0]
+    return deepest.covered_aliases()
+
+
+def similarity_bucket(score: int) -> str:
+    """Bucket a similarity score the way Table 1 reports it."""
+    if score <= 2:
+        return str(score)
+    return ">2"

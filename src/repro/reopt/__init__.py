@@ -1,0 +1,56 @@
+"""Re-optimization algorithms and baselines.
+
+* :mod:`repro.reopt.base` -- shared machinery (non-SPJ segmentation, timeout
+  handling, statistics collection, plan-driven execution loop);
+* :mod:`repro.reopt.default` -- the non-adaptive ``Default`` and ``Optimal``
+  baselines;
+* :mod:`repro.reopt.kabra` -- ``Reopt`` (Kabra & DeWitt): re-optimize at
+  pipeline breakers when estimates deviate;
+* :mod:`repro.reopt.pop` -- ``Pop`` (progressive optimization): aggressive
+  materialization, including at nested-loop joins;
+* :mod:`repro.reopt.ief` -- ``IEF`` (incremental execution framework):
+  materialize at the most uncertain plan node;
+* :mod:`repro.reopt.perron` -- ``Perron19``: materialize every join, re-plan
+  when the q-error exceeds 32;
+* :mod:`repro.reopt.robust_baselines` -- the non-adaptive robust baselines
+  (USE, Pessimistic CE, FS) plus OptRange and the learned-CE baselines;
+* :mod:`repro.reopt.registry` -- name -> factory registry used by the bench
+  harness and experiments.
+"""
+
+from repro.report import ExecutionReport, IterationRecord, WorkloadResult
+from repro.reopt.base import BaselineConfig, ReoptimizerBase
+from repro.reopt.default import DefaultBaseline, OptimalBaseline
+from repro.reopt.kabra import ReoptBaseline
+from repro.reopt.pop import PopBaseline
+from repro.reopt.ief import IEFBaseline
+from repro.reopt.perron import Perron19Baseline
+from repro.reopt.robust_baselines import (
+    FSBaseline,
+    LearnedCEBaseline,
+    OptRangeBaseline,
+    PessimisticBaseline,
+    USEBaseline,
+)
+from repro.reopt.registry import ALGORITHM_NAMES, make_algorithm
+
+__all__ = [
+    "ExecutionReport",
+    "IterationRecord",
+    "WorkloadResult",
+    "BaselineConfig",
+    "ReoptimizerBase",
+    "DefaultBaseline",
+    "OptimalBaseline",
+    "ReoptBaseline",
+    "PopBaseline",
+    "IEFBaseline",
+    "Perron19Baseline",
+    "USEBaseline",
+    "PessimisticBaseline",
+    "FSBaseline",
+    "OptRangeBaseline",
+    "LearnedCEBaseline",
+    "ALGORITHM_NAMES",
+    "make_algorithm",
+]

@@ -1,0 +1,258 @@
+"""Shared machinery for the plan-driven re-optimization baselines.
+
+All four baselines of the paper (Reopt, Pop, IEF, Perron19) follow the same
+skeleton -- they differ only in *where* they materialize intermediate results
+and *when* a deviation between the estimated and the observed cardinality
+triggers a re-plan:
+
+1. optimize the remaining query into a global physical plan;
+2. execute the plan incrementally up to the next materialization point;
+3. compare the observed cardinality against the estimate; if the policy's
+   trigger fires, materialize the intermediate result as a temporary table
+   (collecting statistics unless disabled), substitute it into the remaining
+   query, and go back to step 1;
+4. otherwise continue with the *same* plan (this is what makes the baselines
+   hostage to a bad initial plan);
+5. when no materialization point remains, execute the rest of the plan and
+   finish.
+
+Subclasses provide the policy through :meth:`materialization_points`,
+:attr:`always_materialize` and :attr:`trigger_threshold`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.catalog.analyze import analyze_columns
+from repro.catalog.statistics import TableStats
+from repro.core.nonspj import execute_query_tree
+from repro.executor.executor import ExecutionError, Executor
+from repro.executor.joins import JoinOverflowError
+from repro.optimizer.optimizer import Optimizer
+from repro.plan.expressions import ColumnRef
+from repro.plan.logical import Query, RelationRef, SPJQuery
+from repro.plan.physical import JoinNode, PhysicalPlan
+from repro.report import ExecutionReport, IterationRecord
+from repro.storage.database import Database
+from repro.storage.table import DataTable
+
+
+class QueryTimeout(Exception):
+    """Raised internally when a query exceeds its execution-time budget."""
+
+
+@dataclass
+class BaselineConfig:
+    """Configuration shared by all baselines."""
+
+    collect_statistics: bool = True
+    timeout_seconds: float | None = None
+
+
+class AlgorithmBase:
+    """Common run() wrapper: non-SPJ segmentation, timeout, temp cleanup."""
+
+    name = "algorithm"
+
+    def __init__(self, database: Database, optimizer: Optimizer,
+                 executor: Executor | None = None,
+                 config: BaselineConfig | None = None):
+        self.database = database
+        self.optimizer = optimizer
+        self.executor = executor or Executor(database)
+        self.config = config or BaselineConfig()
+        self._deadline: float | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> ExecutionReport:
+        """Execute ``query`` and return its execution report."""
+        report = ExecutionReport(query_name=query.name, algorithm=self.name,
+                                 total_time=0.0)
+        self._deadline = (time.perf_counter() + self.config.timeout_seconds
+                          if self.config.timeout_seconds is not None else None)
+        planner_before = self.optimizer.invocations
+        try:
+            final = execute_query_tree(
+                query.root, lambda spj: self._run_spj(spj, report))
+            report.final_table = final
+            report.final_rows = final.num_rows
+        except (QueryTimeout, JoinOverflowError, ExecutionError):
+            # Exceeding the join-size cap or the time budget is the Python
+            # engine's analogue of the paper's 1000 s query timeout.
+            report.timed_out = True
+            if self.config.timeout_seconds is not None:
+                report.total_time = max(report.total_time, self.config.timeout_seconds)
+        finally:
+            report.planner_invocations = self.optimizer.invocations - planner_before
+            self.database.drop_temp_tables()
+        return report
+
+    def _run_spj(self, spj: SPJQuery, report: ExecutionReport) -> DataTable:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _check_timeout(self) -> None:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise QueryTimeout()
+
+    def _collect_stats(self, table: DataTable) -> tuple[TableStats, float, bool]:
+        start = time.perf_counter()
+        if self.config.collect_statistics:
+            stats = analyze_columns(dict(table.columns), num_rows=table.num_rows)
+            return stats, time.perf_counter() - start, True
+        return (TableStats.row_count_only(table.num_rows),
+                time.perf_counter() - start, False)
+
+    @staticmethod
+    def _retained_columns(spj: SPJQuery, aliases: frozenset[str]) -> tuple[ColumnRef, ...]:
+        """Every column of ``spj`` (outputs and predicates) within ``aliases``."""
+        return tuple(ref for ref in spj.referenced_columns() if ref.alias in aliases)
+
+
+class NonAdaptiveBaseline(AlgorithmBase):
+    """Plan once, execute once (Default, Optimal, and the robust baselines)."""
+
+    name = "non-adaptive"
+
+    def _run_spj(self, spj: SPJQuery, report: ExecutionReport) -> DataTable:
+        self._check_timeout()
+        plan = self.optimizer.plan(spj)
+        result = self.executor.execute(plan)
+        report.total_time += result.wall_time
+        report.iterations.append(IterationRecord(
+            index=len(report.iterations),
+            description=f"{spj.name}:full-plan",
+            aliases=spj.covered_aliases(),
+            result_rows=result.join_rows,
+            wall_time=result.wall_time,
+            memory_bytes=result.memory_bytes,
+            materialized=False,
+            replanned=False,
+        ))
+        return result.table
+
+
+class ReoptimizerBase(AlgorithmBase):
+    """Skeleton of the plan-driven re-optimization baselines."""
+
+    name = "reoptimizer"
+    #: Materialize at every materialization point, even without a trigger.
+    always_materialize = False
+    #: q-error threshold above which the remaining query is re-planned.
+    trigger_threshold = 2.0
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+    def materialization_points(self, plan: PhysicalPlan) -> list[JoinNode]:
+        """Plan nodes (in execution order) where the policy checkpoints."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # The shared loop
+    # ------------------------------------------------------------------
+    def _run_spj(self, spj: SPJQuery, report: ExecutionReport) -> DataTable:
+        remaining = spj
+        current_plan: PhysicalPlan | None = None
+        cache: dict[int, dict] = {}
+        consumed_points: set[int] = set()
+
+        while True:
+            self._check_timeout()
+            if current_plan is None:
+                current_plan = self.optimizer.plan(remaining)
+                cache = {}
+                consumed_points = set()
+
+            points = [
+                node for node in self.materialization_points(current_plan)
+                if node is not current_plan.root and id(node) not in consumed_points
+            ]
+            if not points or len(remaining.relations) <= 2:
+                return self._finish(remaining, current_plan, cache, report)
+
+            node = self._next_point(points, remaining, consumed_points)
+            if node is None:
+                return self._finish(remaining, current_plan, cache, report)
+            aliases = node.covered_aliases()
+            retained = self._retained_columns(spj, aliases)
+            subtree_plan = PhysicalPlan(query_name=f"{spj.name}:subplan",
+                                        root=node, output_columns=retained)
+            result = self.executor.execute(subtree_plan, cache=cache)
+            report.total_time += result.wall_time
+
+            estimated = max(node.est_rows, 1.0)
+            actual = max(result.join_rows, 1)
+            q_error = max(actual / estimated, estimated / actual)
+            triggered = q_error > self.trigger_threshold
+            materialize = triggered or self.always_materialize
+
+            analyze_time = 0.0
+            stats_collected = False
+            if materialize:
+                stats, analyze_time, stats_collected = self._collect_stats(result.table)
+                report.total_time += analyze_time
+                if stats_collected:
+                    report.stats_collections += 1
+                temp_name = self.database.register_temp(result.table, stats, aliases)
+                temp_ref = RelationRef.temp(temp_name, aliases)
+                remaining = remaining.substitute(temp_ref)
+                if triggered:
+                    current_plan = None  # force a re-plan of the remaining query
+
+            report.iterations.append(IterationRecord(
+                index=len(report.iterations),
+                description=f"{spj.name}:{'+'.join(sorted(aliases))}",
+                aliases=aliases,
+                result_rows=result.table.num_rows,
+                wall_time=result.wall_time + analyze_time,
+                memory_bytes=result.table.memory_bytes,
+                materialized=materialize,
+                replanned=triggered,
+                stats_collected=stats_collected,
+            ))
+
+    def _next_point(self, points: list[JoinNode], remaining: SPJQuery,
+                    consumed_points: set[int]) -> JoinNode | None:
+        """Pick the next materialization point that can be safely materialized.
+
+        A point is skipped when its relations only partially overlap a
+        relation of the remaining query (i.e. an already-materialized
+        temporary that covers more aliases than the point): substituting it
+        would lose data.  This only arises when a policy re-orders the plan's
+        checkpoints (e.g. the Phi-ordered variants of Table 5).
+        """
+        for node in points:
+            consumed_points.add(id(node))
+            aliases = node.covered_aliases()
+            safe = True
+            for relation in remaining.relations:
+                overlap = relation.covered_aliases & aliases
+                if overlap and not (relation.covered_aliases <= aliases):
+                    safe = False
+                    break
+            if safe:
+                return node
+        return None
+
+    def _finish(self, remaining: SPJQuery, plan: PhysicalPlan,
+                cache: dict[int, dict], report: ExecutionReport) -> DataTable:
+        result = self.executor.execute(plan, cache=cache)
+        report.total_time += result.wall_time
+        report.iterations.append(IterationRecord(
+            index=len(report.iterations),
+            description=f"{remaining.name}:final",
+            aliases=remaining.covered_aliases(),
+            result_rows=result.join_rows,
+            wall_time=result.wall_time,
+            memory_bytes=result.memory_bytes,
+            materialized=False,
+            replanned=False,
+        ))
+        return result.table

@@ -1,0 +1,79 @@
+"""``IEF``: the Incremental Execution Framework (Neumann & Galindo-Legaria).
+
+IEF halts query execution at pre-determined places in the global plan chosen
+to remove the most *uncertainty* in cardinality estimation: the sub-plan
+whose estimate is least trustworthy is executed first, its result is
+materialized, and the rest of the query is re-planned with the now-exact
+cardinality.
+
+Uncertainty of a plan node is modelled from the sources PostgreSQL's
+assumptions are known to get wrong (Section 2.1):
+
+* every join predicate that is *not* a primary/foreign-key join contributes
+  heavily (correlated fact-fact joins are where errors explode);
+* every filter predicate contributes moderately (independence assumption);
+* every additional join level contributes a little (error propagation);
+* sub-plans over already-materialized temporaries contribute nothing (their
+  cardinality is exact).
+"""
+
+from __future__ import annotations
+
+from repro.plan.physical import JoinNode, PhysicalPlan, PlanNode, ScanNode
+from repro.reopt.base import ReoptimizerBase
+
+#: Uncertainty contributed by a non-PK-FK join predicate.
+NON_FK_JOIN_WEIGHT = 3.0
+#: Uncertainty contributed by a PK-FK join predicate.
+FK_JOIN_WEIGHT = 0.5
+#: Uncertainty contributed by a filter predicate.
+FILTER_WEIGHT = 1.0
+
+
+class IEFBaseline(ReoptimizerBase):
+    """Materialize the most uncertain sub-plan, re-plan, repeat."""
+
+    name = "IEF"
+    always_materialize = True
+    #: IEF re-plans after every materialization (its checkpoints exist to
+    #: remove uncertainty, not to validate a threshold).
+    trigger_threshold = 1.0
+
+    def materialization_points(self, plan: PhysicalPlan) -> list[JoinNode]:
+        joins = [node for node in plan.join_nodes() if node is not plan.root]
+        if not joins:
+            return []
+        scored = [(self._uncertainty(node), i, node) for i, node in enumerate(joins)]
+        best = max(scored, key=lambda item: (item[0], -item[1]))
+        if best[0] <= 0.0:
+            return []
+        return [best[2]]
+
+    def _uncertainty(self, node: PlanNode) -> float:
+        score = 0.0
+        if isinstance(node, ScanNode):
+            if node.relation.is_temp:
+                return 0.0
+            return FILTER_WEIGHT * len(node.filters)
+        if isinstance(node, JoinNode):
+            for pred in node.predicates:
+                if self._is_fk_join(node, pred):
+                    score += FK_JOIN_WEIGHT
+                else:
+                    score += NON_FK_JOIN_WEIGHT
+            for child in node.children():
+                score += self._uncertainty(child)
+        return score
+
+    def _is_fk_join(self, node: JoinNode, pred) -> bool:
+        tables = {}
+        for leaf in node.leaf_relations():
+            for alias in leaf.covered_aliases:
+                tables[alias] = leaf.table_name if not leaf.is_temp else None
+        left_table = tables.get(pred.left.alias)
+        right_table = tables.get(pred.right.alias)
+        if left_table is None or right_table is None:
+            return True  # a temp side: its cardinality is exact, low uncertainty
+        kind = self.database.schema.join_kind(left_table, pred.left.column,
+                                              right_table, pred.right.column)
+        return kind == "pk-fk"

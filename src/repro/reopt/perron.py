@@ -1,0 +1,24 @@
+"""``Perron19``: the re-optimization strategy of Perron et al. (ICDE 2019).
+
+Following Appendix B of the paper, the practical (non-simulated) variant
+materializes the result of every intermediate join operator into a temporary
+table, runs the ANALYZE routines over it, and re-plans the remaining query
+whenever the q-error between the materialized cardinality and the estimate
+exceeds a fixed threshold of 32.
+"""
+
+from __future__ import annotations
+
+from repro.plan.physical import JoinNode, PhysicalPlan
+from repro.reopt.base import ReoptimizerBase
+
+
+class Perron19Baseline(ReoptimizerBase):
+    """Materialize every join; re-plan when the q-error exceeds 32."""
+
+    name = "Perron19"
+    always_materialize = True
+    trigger_threshold = 32.0
+
+    def materialization_points(self, plan: PhysicalPlan) -> list[JoinNode]:
+        return list(plan.join_nodes())

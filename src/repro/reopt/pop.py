@@ -1,0 +1,24 @@
+"""``Pop``: progressive optimization (Markl et al., 2004).
+
+Pop extends Reopt with checkpoints in many more places, most notably on the
+outer side of nested-loop joins, and validates the running plan against
+cardinality validity ranges.  The practical effect the paper highlights is an
+aggressive materialization schedule -- essentially after every join -- which
+buys adaptivity at a large materialization and memory overhead (Table 4).
+"""
+
+from __future__ import annotations
+
+from repro.plan.physical import JoinNode, PhysicalPlan
+from repro.reopt.base import ReoptimizerBase
+
+
+class PopBaseline(ReoptimizerBase):
+    """Materialize at (nearly) every join; re-plan outside the validity range."""
+
+    name = "Pop"
+    always_materialize = True
+    trigger_threshold = 2.0
+
+    def materialization_points(self, plan: PhysicalPlan) -> list[JoinNode]:
+        return list(plan.join_nodes())

@@ -1,0 +1,10 @@
+"""Execution reports (re-exported from :mod:`repro.report`).
+
+The report dataclasses live at the package top level so that both the
+QuerySplit core and the baseline algorithms can import them without creating
+a circular import through this package's ``__init__``.
+"""
+
+from repro.report import ExecutionReport, IterationRecord, WorkloadResult
+
+__all__ = ["ExecutionReport", "IterationRecord", "WorkloadResult"]

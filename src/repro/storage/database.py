@@ -1,0 +1,167 @@
+"""The in-memory database: schema + tables + statistics + indexes + temporaries.
+
+A :class:`Database` is the single object the optimizer and the executor share.
+It corresponds to a loaded PostgreSQL instance in the paper's experiments: the
+base tables of a benchmark (JOB / TPC-H / DSB), their ANALYZE statistics, the
+B+tree indexes built on primary-key (and optionally foreign-key) columns, and
+the temporary tables created while a re-optimization algorithm runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.analyze import analyze_table
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import TableStats
+from repro.storage.index import SortedIndex
+from repro.storage.table import DataTable
+
+
+class IndexConfig(enum.Enum):
+    """Which columns get indexes (the paper evaluates both settings)."""
+
+    PK_ONLY = "pk"
+    PK_FK = "pk+fk"
+    NONE = "none"
+
+
+@dataclass
+class TempTableEntry:
+    """A materialized intermediate result registered in the database."""
+
+    table: DataTable
+    stats: TableStats
+    covered_aliases: frozenset[str]
+
+
+class Database:
+    """In-memory database instance shared by the optimizer and executor."""
+
+    def __init__(self, schema: Schema, index_config: IndexConfig = IndexConfig.PK_FK):
+        self.schema = schema
+        self.index_config = index_config
+        self._tables: dict[str, DataTable] = {}
+        self._stats: dict[str, TableStats] = {}
+        self._indexes: dict[tuple[str, str], SortedIndex] = {}
+        self._temp_tables: dict[str, TempTableEntry] = {}
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    # Base table management
+    # ------------------------------------------------------------------
+    def load_table(self, table: DataTable, analyze: bool = True) -> None:
+        """Register a base table, analyze it, and build the configured indexes."""
+        if not self.schema.has_table(table.name):
+            raise KeyError(f"table {table.name!r} is not declared in the schema")
+        self._tables[table.name] = table
+        if analyze:
+            self._stats[table.name] = analyze_table(table)
+        else:
+            self._stats[table.name] = TableStats.row_count_only(table.num_rows)
+        self._build_indexes(table)
+
+    def _build_indexes(self, table: DataTable) -> None:
+        """Build the indexes mandated by the current :class:`IndexConfig`."""
+        if self.index_config is IndexConfig.NONE:
+            return
+        schema = self.schema.table(table.name)
+        indexed_columns: set[str] = set()
+        if schema.primary_key is not None:
+            indexed_columns.add(schema.primary_key)
+        if self.index_config is IndexConfig.PK_FK:
+            indexed_columns.update(schema.foreign_key_columns())
+        for column in indexed_columns:
+            if table.has_column(column):
+                self._indexes[(table.name, column)] = SortedIndex(
+                    table.name, column, table.column(column))
+
+    def table(self, name: str) -> DataTable:
+        """Look up a base or temporary table by name."""
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._temp_tables:
+            return self._temp_tables[name].table
+        raise KeyError(f"no table named {name!r} is loaded")
+
+    def has_table(self, name: str) -> bool:
+        """True if a base or temporary table called ``name`` exists."""
+        return name in self._tables or name in self._temp_tables
+
+    def stats(self, name: str) -> TableStats:
+        """Statistics for a base or temporary table."""
+        if name in self._stats:
+            return self._stats[name]
+        if name in self._temp_tables:
+            return self._temp_tables[name].stats
+        raise KeyError(f"no statistics for table {name!r}")
+
+    def is_temp(self, name: str) -> bool:
+        """True if ``name`` refers to a temporary (materialized) table."""
+        return name in self._temp_tables
+
+    @property
+    def base_table_names(self) -> list[str]:
+        """Names of all loaded base tables."""
+        return list(self._tables)
+
+    # ------------------------------------------------------------------
+    # Index access
+    # ------------------------------------------------------------------
+    def index(self, table_name: str, column: str) -> SortedIndex | None:
+        """Return the index on ``table_name.column`` if one exists."""
+        return self._indexes.get((table_name, column))
+
+    def has_index(self, table_name: str, column: str) -> bool:
+        """True if ``table_name.column`` is indexed (temporary tables never are)."""
+        return (table_name, column) in self._indexes
+
+    # ------------------------------------------------------------------
+    # Temporary tables (materialized intermediate results)
+    # ------------------------------------------------------------------
+    def register_temp(self, table: DataTable, stats: TableStats,
+                      covered_aliases: frozenset[str]) -> str:
+        """Register a materialized intermediate result and return its name."""
+        self._temp_counter += 1
+        name = f"__temp_{self._temp_counter}"
+        table = DataTable(name=name, columns=table.columns)
+        self._temp_tables[name] = TempTableEntry(
+            table=table, stats=stats, covered_aliases=covered_aliases)
+        return name
+
+    def temp_entry(self, name: str) -> TempTableEntry:
+        """Return the bookkeeping entry of a temporary table."""
+        return self._temp_tables[name]
+
+    def drop_temp_tables(self) -> None:
+        """Drop every temporary table (called between queries)."""
+        self._temp_tables.clear()
+        self._temp_counter = 0
+
+    @property
+    def temp_table_names(self) -> list[str]:
+        """Names of all registered temporary tables."""
+        return list(self._temp_tables)
+
+    def temp_memory_bytes(self) -> int:
+        """Total memory used by all live temporary tables."""
+        return sum(entry.table.memory_bytes for entry in self._temp_tables.values())
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def with_index_config(self, index_config: IndexConfig) -> "Database":
+        """Return a new database over the same data with a different index setup."""
+        clone = Database(self.schema, index_config=index_config)
+        for name, table in self._tables.items():
+            clone._tables[name] = table
+            clone._stats[name] = self._stats[name]
+            clone._build_indexes(table)
+        return clone
+
+    def __repr__(self) -> str:
+        return (f"Database(tables={len(self._tables)}, temps={len(self._temp_tables)}, "
+                f"indexes={len(self._indexes)}, config={self.index_config.value})")

@@ -1,0 +1,137 @@
+"""Columnar in-memory tables.
+
+A :class:`DataTable` stores one numpy array per column.  Base tables use bare
+column names (``id``, ``movie_id``); intermediate results produced by the
+executor use qualified names (``t.id``, ``mk.movie_id``) so that columns from
+different relations never collide after a join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class DataTable:
+    """An immutable, columnar, in-memory table.
+
+    Parameters
+    ----------
+    name:
+        Table name (base table name or a generated temporary-table name).
+    columns:
+        Mapping of column name to numpy array.  All arrays must have the same
+        length.
+    """
+
+    name: str
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {len(arr) for arr in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"columns of table {self.name!r} have differing lengths: {lengths}")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of all columns."""
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the array for column ``name``."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        """True if the table has a column called ``name``."""
+        return name in self.columns
+
+    # ------------------------------------------------------------------
+    # Row-level operations (vectorized)
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray, name: str | None = None) -> "DataTable":
+        """Return a new table containing the rows selected by ``indices``."""
+        return DataTable(
+            name=name or self.name,
+            columns={col: arr[indices] for col, arr in self.columns.items()},
+        )
+
+    def filter(self, mask: np.ndarray, name: str | None = None) -> "DataTable":
+        """Return a new table containing only rows where ``mask`` is True."""
+        return DataTable(
+            name=name or self.name,
+            columns={col: arr[mask] for col, arr in self.columns.items()},
+        )
+
+    def project(self, names: list[str], name: str | None = None) -> "DataTable":
+        """Return a new table containing only the listed columns."""
+        return DataTable(
+            name=name or self.name,
+            columns={col: self.columns[col] for col in names},
+        )
+
+    def rename_columns(self, mapping: dict[str, str], name: str | None = None) -> "DataTable":
+        """Return a new table with columns renamed according to ``mapping``."""
+        return DataTable(
+            name=name or self.name,
+            columns={mapping.get(col, col): arr for col, arr in self.columns.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, name: str, column_names: list[str], rows: list[tuple]) -> "DataTable":
+        """Build a table from a list of row tuples (convenience for tests)."""
+        if not rows:
+            return cls(name=name, columns={c: np.array([]) for c in column_names})
+        columns = {}
+        for i, col in enumerate(column_names):
+            values = [row[i] for row in rows]
+            if all(isinstance(v, (int, np.integer)) for v in values):
+                columns[col] = np.array(values, dtype=np.int64)
+            elif all(isinstance(v, (int, float, np.integer, np.floating)) for v in values):
+                columns[col] = np.array(values, dtype=np.float64)
+            else:
+                columns[col] = np.array(values, dtype=object)
+        return cls(name=name, columns=columns)
+
+    def to_rows(self) -> list[tuple]:
+        """Return the table contents as a list of row tuples (tests only)."""
+        names = self.column_names
+        arrays = [self.columns[c] for c in names]
+        return [tuple(arr[i] for arr in arrays) for i in range(self.num_rows)]
+
+    # ------------------------------------------------------------------
+    # Memory accounting (for the Table 4 reproduction)
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the table in bytes."""
+        total = 0
+        for arr in self.columns.values():
+            if arr.dtype == object:
+                # Assume an average of 24 bytes per string payload plus the
+                # 8-byte pointer stored in the array itself.
+                total += arr.nbytes + 24 * len(arr)
+            else:
+                total += arr.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        return f"DataTable({self.name!r}, rows={self.num_rows}, cols={len(self.columns)})"

@@ -1,0 +1,32 @@
+"""Benchmark workloads.
+
+The paper evaluates on three workloads; since the original data sets are not
+available offline, each one is rebuilt as a synthetic generator that
+preserves the characteristics the evaluation depends on:
+
+* :mod:`repro.workloads.imdb` + :mod:`repro.workloads.job_queries` -- an
+  IMDB-like schema with skewed, correlated data and 91 JOB-style join
+  queries (2-10 joins, inverse star patterns, string filters);
+* :mod:`repro.workloads.tpch` -- the TPC-H schema, a scaled-down generator,
+  and SPJ/aggregate skeletons of the 22 queries (the star-schema "worst
+  case" for re-optimization);
+* :mod:`repro.workloads.dsb` -- a skewed TPC-DS subset with both SPJ and
+  non-SPJ queries.
+"""
+
+from repro.workloads.imdb import build_imdb_database, IMDB_SCHEMA
+from repro.workloads.job_queries import job_queries
+from repro.workloads.tpch import build_tpch_database, tpch_queries, TPCH_SCHEMA
+from repro.workloads.dsb import build_dsb_database, dsb_queries, DSB_SCHEMA
+
+__all__ = [
+    "build_imdb_database",
+    "IMDB_SCHEMA",
+    "job_queries",
+    "build_tpch_database",
+    "tpch_queries",
+    "TPCH_SCHEMA",
+    "build_dsb_database",
+    "dsb_queries",
+    "DSB_SCHEMA",
+]

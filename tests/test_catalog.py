@@ -1,0 +1,204 @@
+"""Unit tests for the catalog subsystem: types, schema, statistics, ANALYZE."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.analyze import analyze_columns, analyze_table
+from repro.catalog.schema import Column, ForeignKey, Schema, TableSchema
+from repro.catalog.statistics import (
+    ColumnStats,
+    DEFAULT_EQ_SELECTIVITY,
+    Histogram,
+    TableStats,
+)
+from repro.catalog.types import DataType, coerce_array, type_of_value
+from repro.storage.table import DataTable
+
+
+class TestDataType:
+    def test_numpy_dtypes(self):
+        assert DataType.INT.numpy_dtype == np.dtype(np.int64)
+        assert DataType.FLOAT.numpy_dtype == np.dtype(np.float64)
+        assert DataType.STRING.numpy_dtype == np.dtype(object)
+
+    def test_is_numeric(self):
+        assert DataType.INT.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+
+    def test_from_numpy(self):
+        assert DataType.from_numpy(np.dtype(np.int32)) is DataType.INT
+        assert DataType.from_numpy(np.dtype(np.float32)) is DataType.FLOAT
+        assert DataType.from_numpy(np.dtype(object)) is DataType.STRING
+
+    def test_coerce_array_int(self):
+        arr = coerce_array([1, 2, 3], DataType.INT)
+        assert arr.dtype == np.int64
+
+    def test_coerce_array_string(self):
+        arr = coerce_array(["a", "b"], DataType.STRING)
+        assert arr.dtype == object
+
+    def test_type_of_value(self):
+        assert type_of_value(3) is DataType.INT
+        assert type_of_value(3.5) is DataType.FLOAT
+        assert type_of_value("x") is DataType.STRING
+
+    def test_type_of_value_rejects_bool(self):
+        with pytest.raises(TypeError):
+            type_of_value(True)
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("x", [Column("a", DataType.INT), Column("a", DataType.INT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(ValueError):
+            TableSchema("x", [Column("a", DataType.INT)], primary_key="b")
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(ValueError):
+            TableSchema("x", [Column("a", DataType.INT)],
+                        foreign_keys=[ForeignKey("b", "y", "id")])
+
+    def test_column_lookup(self, tiny_schema):
+        assert tiny_schema.table("t").column("year").dtype is DataType.INT
+        assert tiny_schema.table("t").has_column("id")
+        assert not tiny_schema.table("t").has_column("missing")
+
+    def test_missing_table_raises(self, tiny_schema):
+        with pytest.raises(KeyError):
+            tiny_schema.table("nope")
+
+    def test_duplicate_table_rejected(self, tiny_schema):
+        with pytest.raises(ValueError):
+            tiny_schema.add_table(TableSchema("t", [Column("id", DataType.INT)]))
+
+    def test_referenced_and_referencing(self, tiny_schema):
+        assert "t" in tiny_schema.referenced_tables()
+        assert "mk" in tiny_schema.referencing_tables()
+        assert "mk" not in tiny_schema.referenced_tables()
+
+    def test_is_fk_reference(self, tiny_schema):
+        assert tiny_schema.is_fk_reference("mk", "movie_id", "t", "id")
+        assert not tiny_schema.is_fk_reference("t", "id", "mk", "movie_id")
+
+    def test_join_kind_pk_fk(self, tiny_schema):
+        assert tiny_schema.join_kind("mk", "movie_id", "t", "id") == "pk-fk"
+        assert tiny_schema.join_kind("t", "id", "mk", "movie_id") == "pk-fk"
+
+    def test_join_kind_fk_fk(self, tiny_schema):
+        assert tiny_schema.join_kind("mk", "movie_id", "ci", "movie_id") == "fk-fk"
+
+    def test_join_kind_other(self, tiny_schema):
+        assert tiny_schema.join_kind("t", "year", "k", "id") == "other"
+
+    def test_foreign_key_columns(self, tiny_schema):
+        assert tiny_schema.table("ci").foreign_key_columns() == {"movie_id", "person_id"}
+
+
+class TestHistogram:
+    def test_from_values_and_bounds(self):
+        values = np.arange(1000, dtype=float)
+        hist = Histogram.from_values(values, num_buckets=10)
+        assert hist.num_buckets == 10
+        assert hist.bounds[0] == 0.0
+        assert hist.bounds[-1] == 999.0
+
+    def test_single_value_column_gives_none(self):
+        assert Histogram.from_values(np.full(10, 5.0)) is None
+
+    def test_empty_gives_none(self):
+        assert Histogram.from_values(np.array([], dtype=float)) is None
+
+    def test_selectivity_le_monotone(self):
+        hist = Histogram.from_values(np.arange(1000, dtype=float), num_buckets=20)
+        sels = [hist.selectivity_le(v) for v in (0, 100, 500, 999, 2000)]
+        assert sels == sorted(sels)
+        assert sels[0] <= 0.01
+        assert sels[-1] == 1.0
+
+    def test_range_selectivity_roughly_uniform(self):
+        hist = Histogram.from_values(np.arange(1000, dtype=float), num_buckets=20)
+        sel = hist.selectivity_range(250, 750)
+        assert 0.4 < sel < 0.6
+
+    def test_range_selectivity_clamped(self):
+        hist = Histogram.from_values(np.arange(100, dtype=float))
+        assert hist.selectivity_range(200, 300) == 0.0
+        assert hist.selectivity_range(None, None) == 1.0
+
+
+class TestColumnStats:
+    def test_unanalyzed_defaults(self):
+        stats = ColumnStats(dtype=DataType.INT, num_rows=1000)
+        assert not stats.analyzed
+        assert stats.equality_selectivity(5) == DEFAULT_EQ_SELECTIVITY
+        assert stats.effective_ndv() <= 200
+
+    def test_mcv_equality_selectivity(self):
+        stats = ColumnStats(dtype=DataType.STRING, num_rows=100, ndv=10,
+                            mcv_values=["a", "b"], mcv_fractions=[0.5, 0.2])
+        assert stats.equality_selectivity("a") == 0.5
+        assert stats.equality_selectivity("z") == pytest.approx(0.3 / 8)
+
+    def test_zero_rows(self):
+        stats = ColumnStats(dtype=DataType.INT, num_rows=0, ndv=0)
+        assert stats.equality_selectivity(1) == 0.0
+        assert stats.range_selectivity(0, 10) == 0.0
+
+
+class TestAnalyze:
+    def test_row_counts_and_ndv(self):
+        columns = {
+            "id": np.arange(1000),
+            "cat": np.array(["a", "b", "c", "d"] * 250, dtype=object),
+        }
+        stats = analyze_columns(columns)
+        assert stats.num_rows == 1000
+        assert stats.column("id").ndv == 1000
+        assert stats.column("cat").ndv == 4
+
+    def test_mcv_fractions(self):
+        values = np.array(["hot"] * 900 + ["cold"] * 100, dtype=object)
+        stats = analyze_columns({"c": values})
+        col = stats.column("c")
+        assert col.mcv_values[0] == "hot"
+        assert col.mcv_fractions[0] == pytest.approx(0.9, abs=0.02)
+
+    def test_numeric_histogram_built(self):
+        stats = analyze_columns({"x": np.arange(5000, dtype=np.int64)})
+        assert stats.column("x").histogram is not None
+        assert stats.column("x").min_value == 0
+        assert stats.column("x").max_value == 4999
+
+    def test_null_fraction_strings(self):
+        values = np.array(["a", None, "b", None], dtype=object)
+        stats = analyze_columns({"c": values})
+        assert stats.column("c").null_fraction == pytest.approx(0.5)
+
+    def test_empty_table(self):
+        stats = analyze_columns({"c": np.array([], dtype=np.int64)})
+        assert stats.num_rows == 0
+        assert stats.column("c").ndv == 0
+
+    def test_sampling_caps_work(self):
+        stats = analyze_columns({"x": np.arange(50_000)}, sample_rows=1000)
+        # Sampled NDV scaled up: every sampled value distinct => assume unique.
+        assert stats.column("x").ndv == 50_000
+
+    def test_analyze_table_wrapper(self, tiny_db):
+        table = tiny_db.table("mk")
+        stats = analyze_table(table)
+        assert stats.num_rows == table.num_rows
+        assert set(stats.columns) == set(table.column_names)
+
+    def test_row_count_only(self):
+        stats = TableStats.row_count_only(42)
+        assert stats.num_rows == 42
+        assert not stats.analyzed
+        assert stats.column("anything") is None
+        fallback = stats.column_or_default("anything")
+        assert fallback.num_rows == 42

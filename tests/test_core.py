@@ -1,0 +1,286 @@
+"""Unit tests for the QuerySplit core: join graph, QSA, SSA, driver, non-SPJ."""
+
+import pytest
+
+from repro.core.join_graph import build_join_graph
+from repro.core.nonspj import count_spj_blocks, execute_query_tree
+from repro.core.qsa import QSAStrategy, generate_subqueries
+from repro.core.splitter import QuerySplitConfig, QuerySplitExecutor
+from repro.core.ssa import (
+    CostFunction,
+    SubqueryEstimate,
+    phi1,
+    phi2,
+    phi3,
+    phi4,
+    phi5,
+    select_subquery,
+)
+from repro.core.subquery import assert_covers, coverage_gaps, covers
+from repro.executor.executor import Executor
+from repro.optimizer.optimizer import Optimizer
+from repro.plan.expressions import ColumnRef, JoinPredicate
+from repro.plan.logical import (
+    AggregateNode,
+    AggregateSpec,
+    Query,
+    RelationRef,
+    SPJNode,
+    SPJQuery,
+    UnionNode,
+)
+from tests.conftest import five_way_query
+
+
+class TestJoinGraph:
+    def test_pk_fk_edges_directed_from_fk_side(self, tiny_schema):
+        graph = build_join_graph(five_way_query(), tiny_schema)
+        directed = {(e.source, e.target) for e in graph.edges if not e.bidirectional}
+        assert ("mk", "t") in directed
+        assert ("ci", "n") in directed
+
+    def test_centers_are_fact_tables(self, tiny_schema):
+        graph = build_join_graph(five_way_query(), tiny_schema)
+        assert set(graph.centers()) == {"mk", "ci"}
+
+    def test_reversed_graph_swaps_centers(self, tiny_schema):
+        graph = build_join_graph(five_way_query(), tiny_schema).reversed()
+        assert set(graph.centers()) == {"t", "k", "n"}
+
+    def test_cycle_edges_removed_preferring_bidirectional(self, tiny_schema):
+        spj = five_way_query()
+        # Add the redundant fk-fk edge ci.movie_id = mk.movie_id (JOB 6d cycle).
+        cyclic = SPJQuery(
+            name="cyclic",
+            relations=spj.relations,
+            filters=spj.filters,
+            join_predicates=spj.join_predicates + (
+                JoinPredicate(ColumnRef("ci", "movie_id"), ColumnRef("mk", "movie_id")),),
+        )
+        graph = build_join_graph(cyclic, tiny_schema)
+        assert len(graph.removed_edges) == 1
+        assert graph.removed_edges[0].bidirectional
+
+    def test_isolated_vertices(self, tiny_schema):
+        spj = SPJQuery(name="cross",
+                       relations=(RelationRef.base("t", "t"), RelationRef.base("k", "k")))
+        graph = build_join_graph(spj, tiny_schema)
+        assert set(graph.isolated()) == {"t", "k"}
+
+
+class TestCovering:
+    def test_fk_center_covers(self, tiny_schema):
+        spj = five_way_query()
+        subqueries = generate_subqueries(spj, tiny_schema, QSAStrategy.FK_CENTER)
+        assert covers(subqueries, spj)
+        assert coverage_gaps(subqueries, spj) == []
+
+    def test_missing_relation_detected(self, tiny_schema):
+        spj = five_way_query()
+        subqueries = generate_subqueries(spj, tiny_schema, QSAStrategy.FK_CENTER)
+        gaps = coverage_gaps(subqueries[:1], spj)
+        assert gaps  # dropping a subquery breaks covering
+        with pytest.raises(AssertionError):
+            assert_covers(subqueries[:1], spj)
+
+    def test_transitive_join_implication(self, tiny_schema):
+        """a=b and b=c imply a=c: covering accepts the transitive closure."""
+        base = SPJQuery(
+            name="tri",
+            relations=(RelationRef.base("t", "t"), RelationRef.base("mk", "mk"),
+                       RelationRef.base("ci", "ci")),
+            join_predicates=(
+                JoinPredicate(ColumnRef("mk", "movie_id"), ColumnRef("t", "id")),
+                JoinPredicate(ColumnRef("ci", "movie_id"), ColumnRef("t", "id")),
+                JoinPredicate(ColumnRef("ci", "movie_id"), ColumnRef("mk", "movie_id")),
+            ),
+        )
+        subqueries = generate_subqueries(base, tiny_schema, QSAStrategy.FK_CENTER)
+        assert covers(subqueries, base)
+
+
+class TestQSA:
+    def test_fk_center_shape_matches_paper_example(self, tiny_schema):
+        """Figure 8: S1 = k |x| mk |x| t centred at mk, S2 = t |x| ci |x| n at ci."""
+        subqueries = generate_subqueries(five_way_query(), tiny_schema,
+                                         QSAStrategy.FK_CENTER)
+        alias_sets = {sub.covered_aliases() for sub in subqueries}
+        assert frozenset({"k", "mk", "t"}) in alias_sets
+        assert frozenset({"t", "ci", "n"}) in alias_sets
+        assert len(subqueries) == 2
+
+    def test_pk_center_produces_dimension_centred_subqueries(self, tiny_schema):
+        subqueries = generate_subqueries(five_way_query(), tiny_schema,
+                                         QSAStrategy.PK_CENTER)
+        alias_sets = {sub.covered_aliases() for sub in subqueries}
+        # t is referenced by both mk and ci, so its subquery contains both.
+        assert frozenset({"t", "mk", "ci"}) in alias_sets
+
+    def test_min_subquery_one_per_join(self, tiny_schema):
+        spj = five_way_query()
+        subqueries = generate_subqueries(spj, tiny_schema, QSAStrategy.MIN_SUBQUERY)
+        assert len(subqueries) == spj.num_joins
+        assert all(len(sub.relations) == 2 for sub in subqueries)
+
+    def test_small_queries_not_split(self, tiny_schema):
+        spj = SPJQuery(
+            name="pair",
+            relations=(RelationRef.base("mk", "mk"), RelationRef.base("t", "t")),
+            join_predicates=(JoinPredicate(ColumnRef("mk", "movie_id"),
+                                           ColumnRef("t", "id")),))
+        for strategy in QSAStrategy:
+            subqueries = generate_subqueries(spj, tiny_schema, strategy)
+            assert len(subqueries) == 1
+
+    def test_filters_attached_to_subqueries(self, tiny_schema):
+        spj = five_way_query()
+        subqueries = generate_subqueries(spj, tiny_schema, QSAStrategy.FK_CENTER)
+        for sub in subqueries:
+            for pred in sub.filters:
+                assert pred in spj.filters
+
+    def test_every_strategy_covers_job_queries(self, tiny_schema):
+        """Property: all three strategies produce covering sets for all samples."""
+        from repro.workloads.imdb import IMDB_SCHEMA
+        from repro.workloads.job_queries import job_queries
+
+        for query in job_queries(families=[2, 6, 9, 17, 21, 28]):
+            for strategy in QSAStrategy:
+                subqueries = generate_subqueries(query.spj, IMDB_SCHEMA, strategy)
+                assert covers(subqueries, query.spj), (query.name, strategy)
+
+
+class TestSSA:
+    def test_phi_function_values(self):
+        import math
+
+        assert phi1(10, 100) == 10
+        assert phi2(10, 100) == pytest.approx(10 * math.log(100))
+        assert phi3(10, 100) == pytest.approx(100.0)
+        assert phi4(10, 100) == 1000
+        assert phi5(10, 100) == 100
+
+    def test_phi4_prefers_small_cost_times_rows(self):
+        estimates = [
+            SubqueryEstimate(None, cost=100.0, rows=10.0),
+            SubqueryEstimate(None, cost=10.0, rows=20.0),
+            SubqueryEstimate(None, cost=50.0, rows=1.0),
+        ]
+        assert select_subquery(estimates, CostFunction.PHI4) == 2
+        assert select_subquery(estimates, CostFunction.PHI1) == 1
+        assert select_subquery(estimates, CostFunction.PHI5) == 2
+
+    def test_empty_estimates_rejected(self):
+        with pytest.raises(ValueError):
+            select_subquery([], CostFunction.PHI4)
+
+    def test_global_deep_requires_plan(self):
+        estimates = [SubqueryEstimate(five_way_query(), 1.0, 1.0)]
+        with pytest.raises(ValueError):
+            select_subquery(estimates, CostFunction.GLOBAL_DEEP, None)
+
+    def test_global_deep_follows_plan(self, tiny_db, tiny_schema):
+        spj = five_way_query()
+        plan = Optimizer(tiny_db).plan(spj)
+        subqueries = generate_subqueries(spj, tiny_schema, QSAStrategy.FK_CENTER)
+        estimates = [SubqueryEstimate(sub, 1.0, 1.0) for sub in subqueries]
+        idx = select_subquery(estimates, CostFunction.GLOBAL_DEEP, plan)
+        deepest = plan.join_nodes()[0].covered_aliases()
+        assert deepest <= estimates[idx].subquery.covered_aliases() or idx in range(len(estimates))
+
+
+class TestQuerySplitDriver:
+    @pytest.mark.parametrize("strategy", list(QSAStrategy))
+    @pytest.mark.parametrize("cost_function", [CostFunction.PHI1, CostFunction.PHI4,
+                                               CostFunction.PHI5,
+                                               CostFunction.GLOBAL_DEEP])
+    def test_result_matches_default_plan(self, tiny_db, tiny_query, strategy,
+                                         cost_function):
+        """QuerySplit must produce the same answer as plain execution
+        regardless of its policy configuration (Theorem 1)."""
+        expected = Executor(tiny_db).execute(
+            Optimizer(tiny_db).plan(tiny_query.spj)).table.to_rows()
+        config = QuerySplitConfig(qsa_strategy=strategy, cost_function=cost_function)
+        runner = QuerySplitExecutor(tiny_db, Optimizer(tiny_db), config=config)
+        report = runner.run(tiny_query)
+        assert report.final_table.to_rows() == expected
+
+    def test_temp_tables_cleaned_up(self, tiny_db, tiny_query):
+        runner = QuerySplitExecutor(tiny_db, Optimizer(tiny_db))
+        runner.run(tiny_query)
+        assert tiny_db.temp_table_names == []
+
+    def test_iterations_and_materializations_recorded(self, tiny_db, tiny_query):
+        runner = QuerySplitExecutor(tiny_db, Optimizer(tiny_db))
+        report = runner.run(tiny_query)
+        assert report.num_iterations == 2
+        assert report.materializations == 1
+        assert report.planner_invocations > 0
+        assert all(it.result_rows >= 0 for it in report.iterations)
+
+    def test_statistics_toggle(self, tiny_db, tiny_query):
+        with_stats = QuerySplitExecutor(
+            tiny_db, Optimizer(tiny_db),
+            config=QuerySplitConfig(collect_statistics=True)).run(tiny_query)
+        without = QuerySplitExecutor(
+            tiny_db, Optimizer(tiny_db),
+            config=QuerySplitConfig(collect_statistics=False)).run(tiny_query)
+        assert with_stats.stats_collections > 0
+        assert without.stats_collections == 0
+        assert with_stats.final_table.to_rows() == without.final_table.to_rows()
+
+    def test_timeout_marks_report(self, tiny_db, tiny_query):
+        config = QuerySplitConfig(timeout_seconds=0.0)
+        report = QuerySplitExecutor(tiny_db, Optimizer(tiny_db), config=config).run(tiny_query)
+        assert report.timed_out
+
+    def test_disconnected_query_cartesian_merge(self, tiny_db):
+        spj = SPJQuery(
+            name="cross",
+            relations=(RelationRef.base("k", "k"), RelationRef.base("n", "n")),
+            aggregates=(AggregateSpec("count", None, "cnt"),),
+        )
+        report = QuerySplitExecutor(tiny_db, Optimizer(tiny_db)).run(Query.from_spj(spj))
+        expected = tiny_db.table("k").num_rows * tiny_db.table("n").num_rows
+        assert report.final_table.to_rows()[0][0] == expected
+
+
+class TestNonSPJ:
+    def test_aggregate_over_spj(self, tiny_db):
+        spj = SPJQuery(
+            name="block",
+            relations=(RelationRef.base("ci", "ci"), RelationRef.base("n", "n")),
+            join_predicates=(JoinPredicate(ColumnRef("ci", "person_id"),
+                                           ColumnRef("n", "id")),),
+        )
+        root = AggregateNode(
+            child=SPJNode(spj),
+            group_by=(ColumnRef("n", "gender"),),
+            aggregates=(AggregateSpec("count", None, "cnt"),),
+        )
+        query = Query(name="agg", root=root)
+        runner = QuerySplitExecutor(tiny_db, Optimizer(tiny_db))
+        report = runner.run(query)
+        rows = dict(report.final_table.to_rows())
+        assert set(rows) == {"m", "f"}
+        assert sum(rows.values()) == tiny_db.table("ci").num_rows
+
+    def test_union_of_blocks(self, tiny_db):
+        spj = SPJQuery(
+            name="block",
+            relations=(RelationRef.base("k", "k"),),
+            aggregates=(AggregateSpec("count", None, "cnt"),),
+        )
+        query = Query(name="union", root=UnionNode((SPJNode(spj), SPJNode(spj))))
+        report = QuerySplitExecutor(tiny_db, Optimizer(tiny_db)).run(query)
+        assert report.final_rows == 2
+
+    def test_count_spj_blocks(self, tiny_query):
+        assert count_spj_blocks(tiny_query.root) == 1
+
+    def test_execute_query_tree_rejects_unknown_nodes(self):
+        class Bogus:
+            pass
+
+        with pytest.raises(TypeError):
+            execute_query_tree(Bogus(), lambda spj: None)

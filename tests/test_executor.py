@@ -1,0 +1,242 @@
+"""Unit tests for the vectorized executor and its join primitives."""
+
+import numpy as np
+import pytest
+
+from repro.executor.executor import ExecutionError, Executor, group_aggregate, union_all
+from repro.executor.joins import (
+    JoinOverflowError,
+    equi_join_indices,
+    join_result_size,
+    multi_key_equi_join,
+)
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.oracle import OracleCardinalityEstimator
+from repro.plan.expressions import ColumnRef, Comparison, JoinPredicate
+from repro.plan.logical import AggregateSpec, RelationRef, SPJQuery
+from repro.plan.physical import JoinMethod
+from repro.storage.table import DataTable
+from tests.conftest import five_way_query
+
+
+class TestJoinPrimitives:
+    def test_equi_join_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 20, 200)
+        right = rng.integers(0, 20, 300)
+        li, ri = equi_join_indices(left, right)
+        assert np.all(left[li] == right[ri])
+        expected = sum(int((right == v).sum()) for v in left)
+        assert len(li) == expected
+
+    def test_equi_join_empty_inputs(self):
+        li, ri = equi_join_indices(np.array([]), np.array([1, 2]))
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_equi_join_no_matches(self):
+        li, ri = equi_join_indices(np.array([1, 2]), np.array([3, 4]))
+        assert len(li) == 0
+
+    def test_equi_join_string_keys(self):
+        left = np.array(["a", "b", "a"], dtype=object)
+        right = np.array(["a", "c"], dtype=object)
+        li, ri = equi_join_indices(left, right)
+        assert len(li) == 2
+        assert all(left[i] == "a" for i in li)
+
+    def test_multi_key_join(self):
+        left = [np.array([1, 1, 2]), np.array([10, 20, 10])]
+        right = [np.array([1, 2, 1]), np.array([10, 10, 20])]
+        li, ri = multi_key_equi_join(left, right)
+        pairs = {(int(l), int(r)) for l, r in zip(li, ri)}
+        assert pairs == {(0, 0), (1, 2), (2, 1)}
+
+    def test_multi_key_requires_matching_key_counts(self):
+        with pytest.raises(ValueError):
+            multi_key_equi_join([np.array([1])], [])
+
+    def test_join_result_size_exact(self):
+        rng = np.random.default_rng(1)
+        left = rng.integers(0, 15, 500)
+        right = rng.integers(0, 15, 400)
+        li, _ = equi_join_indices(left, right)
+        assert join_result_size(left, right) == len(li)
+
+    def test_overflow_guard(self):
+        left = np.zeros(10_000, dtype=np.int64)
+        right = np.zeros(10_000, dtype=np.int64)
+        with pytest.raises(JoinOverflowError):
+            equi_join_indices(left, right)
+
+
+@pytest.fixture()
+def executor(tiny_db):
+    return Executor(tiny_db)
+
+
+@pytest.fixture()
+def optimizer(tiny_db):
+    return Optimizer(tiny_db)
+
+
+def brute_force_count(db, year_cutoff=2000, kw_prefix="kw_0", gender="f"):
+    """Reference implementation of the 5-way query via numpy masks."""
+    t, mk, k, ci, n = (db.table(x) for x in ("t", "mk", "k", "ci", "n"))
+    t_ok = set(t.column("id")[t.column("year") > year_cutoff].tolist())
+    k_ok = set(k.column("id")[[str(v).startswith(kw_prefix)
+                               for v in k.column("kw")]].tolist())
+    n_ok = set(n.column("id")[n.column("gender") == gender].tolist())
+    mk_rows = [(m, kw) for m, kw in zip(mk.column("movie_id"), mk.column("keyword_id"))
+               if m in t_ok and kw in k_ok]
+    ci_rows = [(m, p) for m, p in zip(ci.column("movie_id"), ci.column("person_id"))
+               if m in t_ok and p in n_ok]
+    from collections import Counter
+    mk_count = Counter(m for m, _ in mk_rows)
+    ci_count = Counter(m for m, _ in ci_rows)
+    return sum(mk_count[m] * ci_count[m] for m in mk_count if m in ci_count)
+
+
+class TestExecutor:
+    def test_five_way_join_matches_bruteforce(self, tiny_db, executor, optimizer):
+        plan = optimizer.plan(five_way_query())
+        result = executor.execute(plan)
+        count = result.table.to_rows()[0][0]
+        assert count == brute_force_count(tiny_db)
+
+    def test_plan_independent_result(self, tiny_db, executor):
+        """Default and oracle-driven plans must produce identical results."""
+        spj = five_way_query()
+        default_plan = Optimizer(tiny_db).plan(spj)
+        optimal_plan = Optimizer(tiny_db).with_estimator(
+            OracleCardinalityEstimator(tiny_db)).plan(spj)
+        a = executor.execute(default_plan).table.to_rows()
+        b = executor.execute(optimal_plan).table.to_rows()
+        assert a == b
+
+    def test_actual_rows_recorded(self, executor, optimizer):
+        plan = optimizer.plan(five_way_query())
+        executor.execute(plan)
+        for join in plan.join_nodes():
+            assert join.actual_rows is not None
+            assert join.actual_time is not None
+
+    def test_extra_columns_survive(self, executor, optimizer):
+        spj = five_way_query()
+        sub = SPJQuery(name="sub",
+                       relations=(RelationRef.base("t", "t"),
+                                  RelationRef.base("mk", "mk")),
+                       join_predicates=(JoinPredicate(ColumnRef("mk", "movie_id"),
+                                                      ColumnRef("t", "id")),),
+                       filters=spj.filters_for(spj.relation("t")))
+        plan = optimizer.plan(sub)
+        result = executor.execute(plan, extra_columns=(ColumnRef("mk", "keyword_id"),
+                                                       ColumnRef("t", "year")))
+        assert "mk.keyword_id" in result.table.column_names
+        assert "t.year" in result.table.column_names
+
+    def test_cache_reuses_subtree_results(self, executor, optimizer):
+        from repro.plan.physical import PhysicalPlan
+
+        plan = optimizer.plan(five_way_query())
+        cache = {}
+        first_join = plan.join_nodes()[0]
+        sub_plan = PhysicalPlan("sub", first_join,
+                                output_columns=tuple(five_way_query().referenced_columns()))
+        executor.execute(sub_plan, cache=cache)
+        assert id(first_join) in cache
+        # Executing the full plan afterwards must not clear or bypass the cache.
+        executor.execute(plan, cache=cache)
+        assert id(plan.root) in cache
+
+    def test_scalar_aggregates(self, executor, optimizer, tiny_db):
+        spj = five_way_query()
+        plan = optimizer.plan(spj)
+        result = executor.execute(plan)
+        row = result.table.to_rows()[0]
+        assert row[0] == brute_force_count(tiny_db)
+        assert row[1] > 2000  # min year respects the filter
+
+    def test_empty_result_count_zero(self, executor, optimizer, tiny_schema):
+        spj = SPJQuery(
+            name="empty",
+            relations=(RelationRef.base("t", "t"),),
+            filters=(Comparison(ColumnRef("t", "year"), ">", 3000),),
+            aggregates=(AggregateSpec("count", None, "cnt"),),
+        )
+        result = executor.execute(Optimizer(executor.database).plan(spj))
+        assert result.table.to_rows()[0][0] == 0
+
+    def test_temp_table_scan(self, tiny_db, executor, optimizer):
+        """Materialized temporaries can be joined like base relations."""
+        from repro.catalog.analyze import analyze_columns
+
+        sub = SPJQuery(name="sub",
+                       relations=(RelationRef.base("t", "t"),
+                                  RelationRef.base("mk", "mk")),
+                       join_predicates=(JoinPredicate(ColumnRef("mk", "movie_id"),
+                                                      ColumnRef("t", "id")),))
+        result = executor.execute(optimizer.plan(sub),
+                                  extra_columns=(ColumnRef("mk", "keyword_id"),))
+        stats = analyze_columns(dict(result.table.columns))
+        temp_name = tiny_db.register_temp(result.table, stats, frozenset({"t", "mk"}))
+        temp_ref = RelationRef.temp(temp_name, frozenset({"t", "mk"}))
+        joined = SPJQuery(
+            name="over-temp",
+            relations=(temp_ref, RelationRef.base("k", "k")),
+            join_predicates=(JoinPredicate(ColumnRef("mk", "keyword_id"),
+                                           ColumnRef("k", "id")),),
+            aggregates=(AggregateSpec("count", None, "cnt"),),
+        )
+        final = executor.execute(optimizer.plan(joined))
+        expected = executor.execute(optimizer.plan(SPJQuery(
+            name="direct",
+            relations=(RelationRef.base("t", "t"), RelationRef.base("mk", "mk"),
+                       RelationRef.base("k", "k")),
+            join_predicates=(JoinPredicate(ColumnRef("mk", "movie_id"),
+                                           ColumnRef("t", "id")),
+                             JoinPredicate(ColumnRef("mk", "keyword_id"),
+                                           ColumnRef("k", "id"))),
+            aggregates=(AggregateSpec("count", None, "cnt"),),
+        )))
+        tiny_db.drop_temp_tables()
+        assert final.table.to_rows() == expected.table.to_rows()
+
+    def test_index_nl_and_hash_agree(self, tiny_db, optimizer, executor):
+        """Forcing hash joins produces the same result as index NL plans."""
+        from repro.optimizer.join_enum import EnumeratorConfig
+        from repro.optimizer.optimizer import OptimizerConfig
+
+        spj = five_way_query()
+        hash_only = Optimizer(tiny_db, config=OptimizerConfig(
+            enumerator=EnumeratorConfig(enable_index_nl=False, enable_merge=False)))
+        a = executor.execute(hash_only.plan(spj)).table.to_rows()
+        b = executor.execute(optimizer.plan(spj)).table.to_rows()
+        assert a == b
+
+
+class TestAggregationHelpers:
+    def test_group_aggregate(self):
+        columns = {
+            "g.key": np.array(["a", "b", "a", "a"], dtype=object),
+            "v.x": np.array([1, 2, 3, 4]),
+        }
+        out = group_aggregate(columns, (ColumnRef("g", "key"),),
+                              (AggregateSpec("sum", ColumnRef("v", "x"), "total"),
+                               AggregateSpec("count", None, "cnt")))
+        rows = {tuple(r) for r in out.to_rows()}
+        assert rows == {("a", 8, 3), ("b", 2, 1)}
+
+    def test_group_aggregate_without_groups_is_scalar(self):
+        columns = {"v.x": np.array([1.0, 2.0, 3.0])}
+        out = group_aggregate(columns, (),
+                              (AggregateSpec("avg", ColumnRef("v", "x"), "mean"),))
+        assert out.to_rows()[0][0] == pytest.approx(2.0)
+
+    def test_union_all(self):
+        a = DataTable("a", {"x": np.array([1, 2])})
+        b = DataTable("b", {"x": np.array([3])})
+        merged = union_all([a, b])
+        assert list(merged.column("x")) == [1, 2, 3]
+
+    def test_union_all_empty(self):
+        assert union_all([]).num_rows == 0

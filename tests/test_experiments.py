@@ -1,0 +1,112 @@
+"""Smoke tests for every experiment module (tiny scale, restricted queries)."""
+
+import pytest
+
+from repro.core.qsa import QSAStrategy
+from repro.core.ssa import CostFunction
+from repro.experiments import (
+    figure10_robustness,
+    figure11_job,
+    figure12_tpch,
+    figure13_dsb_spj,
+    figure14_dsb_nonspj,
+    figure15_statistics,
+    table1_similarity,
+    table3_policies,
+    table4_materialization,
+    table5_existing_costfn,
+    table6_categories,
+)
+
+SCALE = 0.15
+FAMILIES = [2, 6, 9]
+
+
+def test_table1_similarity_ratios_sum_to_one():
+    ratios = table1_similarity.run(scale=SCALE, families=FAMILIES, verbose=False)
+    assert set(ratios) == {"0", "1", "2", ">2"}
+    assert sum(ratios.values()) == pytest.approx(1.0)
+
+
+def test_table3_policy_grid():
+    results = table3_policies.run(
+        scale=SCALE, families=[6],
+        qsa_strategies=(QSAStrategy.FK_CENTER, QSAStrategy.MIN_SUBQUERY),
+        cost_functions=(CostFunction.PHI1, CostFunction.PHI4),
+        verbose=False)
+    assert len(results) == 4
+    assert all(result.total_time >= 0 for result in results.values())
+    best = table3_policies.best_combination(results)
+    assert best in results
+
+
+def test_figure10_robustness_sweep():
+    results = figure10_robustness.run(
+        scale=SCALE, families=[6], sigmas=(0.5, 4.0),
+        policies=((QSAStrategy.FK_CENTER, CostFunction.PHI4),),
+        verbose=False)
+    assert len(results) == 2
+
+
+def test_figure11_job_comparison():
+    results = figure11_job.run(
+        scale=SCALE, families=FAMILIES,
+        algorithms=("QuerySplit", "Default", "Pop"),
+        verbose=False)
+    assert set(results) == {"pk", "pk+fk"}
+    for per_algorithm in results.values():
+        assert set(per_algorithm) == {"QuerySplit", "Default", "Pop"}
+
+
+def test_table4_materialization_metrics():
+    metrics = table4_materialization.run(
+        scale=SCALE, families=FAMILIES,
+        algorithms=("QuerySplit", "Pop"), verbose=False)
+    assert metrics["Pop"]["avg_materializations_per_query"] >= \
+        metrics["QuerySplit"]["avg_materializations_per_query"] - 1e-9
+    assert metrics["QuerySplit"]["avg_mem_per_subquery_mb"] >= 0
+
+
+def test_figure12_tpch():
+    results = figure12_tpch.run(
+        scale=0.1, algorithms=("QuerySplit", "Default"),
+        query_numbers=[1, 3, 5, 10], verbose=False)
+    for per_algorithm in results.values():
+        assert per_algorithm["QuerySplit"].timeouts == 0
+
+
+def test_figure13_and_14_dsb():
+    spj = figure13_dsb_spj.run(scale=0.1, algorithms=("QuerySplit", "Default"),
+                               verbose=False)
+    nonspj = figure14_dsb_nonspj.run(scale=0.1, algorithms=("QuerySplit", "Default"),
+                                     verbose=False)
+    assert set(spj) == set(nonspj) == {"pk", "pk+fk"}
+
+
+def test_figure15_statistics_toggle():
+    results = figure15_statistics.run(
+        scale=SCALE, families=[6], algorithms=("QuerySplit", "Perron19"),
+        verbose=False)
+    assert ("QuerySplit", True) in results and ("QuerySplit", False) in results
+
+
+def test_table5_existing_costfn():
+    results = table5_existing_costfn.run(
+        scale=SCALE, families=[6], algorithms=("Pop",),
+        cost_functions=(CostFunction.PHI4,), verbose=False)
+    assert ("Pop", "original") in results
+    assert ("Pop", "phi4") in results
+
+
+def test_table6_categories():
+    outcome = table6_categories.run(scale=SCALE, families=FAMILIES,
+                                    alternatives=("Pop", "Perron19"),
+                                    verbose=False)
+    freq = outcome.frequency()
+    assert sum(freq.values()) == len(outcome.categories)
+    assert set(freq) == set(table6_categories.CATEGORIES)
+    effects = outcome.average_effect()
+    assert set(effects) == set(table6_categories.CATEGORIES)
+    # Timelines exist for every classified query and algorithm.
+    for query, timelines in outcome.timelines.items():
+        assert "QuerySplit" in timelines

@@ -1,0 +1,286 @@
+"""Unit tests for cardinality estimation, the cost model, and plan enumeration."""
+
+import pytest
+
+from repro.optimizer.cardinality import DefaultCardinalityEstimator
+from repro.optimizer.cost import CostModel, CostParameters
+from repro.optimizer.injection import NoisyCardinalityEstimator
+from repro.optimizer.join_enum import EnumeratorConfig, JoinEnumerator
+from repro.optimizer.learned import LearnedCardinalityEstimator
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.optimizer.oracle import OracleCardinalityEstimator, TrueCardinalityOracle
+from repro.optimizer.pessimistic import PessimisticCardinalityEstimator
+from repro.optimizer.robust import fs_config, optimality_range, use_config
+from repro.plan.expressions import ColumnRef, Comparison, JoinPredicate, StringPrefix
+from repro.plan.logical import RelationRef, SPJQuery
+from repro.plan.physical import JoinMethod, JoinNode, ScanNode
+from tests.conftest import five_way_query
+
+
+@pytest.fixture(scope="module")
+def estimator(tiny_db):
+    return DefaultCardinalityEstimator(tiny_db)
+
+
+@pytest.fixture(scope="module")
+def oracle_estimator(tiny_db):
+    return OracleCardinalityEstimator(tiny_db)
+
+
+def _rel(alias):
+    return RelationRef.base(alias, alias)
+
+
+class TestDefaultEstimator:
+    def test_scan_without_filters_is_table_size(self, estimator, tiny_db):
+        rows = estimator.estimate_rows((_rel("ci"),), (), ())
+        assert rows == tiny_db.table("ci").num_rows
+
+    def test_equality_filter_reduces_rows(self, estimator, tiny_db):
+        pred = Comparison(ColumnRef("t", "kind"), "=", "tv")
+        rows = estimator.estimate_rows((_rel("t",),), (pred,), ())
+        assert 0 < rows < tiny_db.table("t").num_rows
+
+    def test_range_filter_uses_histogram(self, estimator, tiny_db):
+        pred = Comparison(ColumnRef("t", "year"), ">", 2010)
+        rows = estimator.estimate_rows((_rel("t"),), (pred,), ())
+        true = int((tiny_db.table("t").column("year") > 2010).sum())
+        assert rows == pytest.approx(true, rel=0.5)
+
+    def test_independence_assumption_multiplies(self, estimator):
+        p1 = Comparison(ColumnRef("t", "year"), ">", 2010)
+        p2 = Comparison(ColumnRef("t", "kind"), "=", "tv")
+        single = estimator.estimate_rows((_rel("t"),), (p1,), ())
+        both = estimator.estimate_rows((_rel("t"),), (p1, p2), ())
+        assert both < single
+
+    def test_pk_fk_join_estimate(self, estimator, tiny_db):
+        pred = JoinPredicate(ColumnRef("mk", "movie_id"), ColumnRef("t", "id"))
+        rows = estimator.estimate_rows((_rel("mk"), _rel("t")), (), (pred,))
+        # PK-FK join output is roughly the FK side size.
+        assert rows == pytest.approx(tiny_db.table("mk").num_rows, rel=0.5)
+
+    def test_minimum_one_row(self, estimator):
+        pred = Comparison(ColumnRef("k", "kw"), "=", "definitely-not-present")
+        assert estimator.estimate_rows((_rel("k"),), (pred,), ()) >= 1.0
+
+    def test_string_pattern_defaults(self, estimator, tiny_db):
+        pred = StringPrefix(ColumnRef("k", "kw"), "kw_0")
+        rows = estimator.estimate_rows((_rel("k"),), (pred,), ())
+        assert rows < tiny_db.table("k").num_rows
+
+
+class TestOracleEstimator:
+    def test_scan_is_exact(self, oracle_estimator, tiny_db):
+        pred = Comparison(ColumnRef("t", "year"), ">", 2010)
+        rows = oracle_estimator.estimate_rows((_rel("t"),), (pred,), ())
+        true = int((tiny_db.table("t").column("year") > 2010).sum())
+        assert rows == true
+
+    def test_join_is_exact(self, oracle_estimator, tiny_db):
+        pred = JoinPredicate(ColumnRef("mk", "movie_id"), ColumnRef("t", "id"))
+        rows = oracle_estimator.estimate_rows((_rel("mk"), _rel("t")), (), (pred,))
+        # Every mk row matches exactly one title (FK integrity by construction).
+        assert rows == tiny_db.table("mk").num_rows
+
+    def test_count_is_cached(self, tiny_db):
+        oracle = TrueCardinalityOracle(tiny_db)
+        est = OracleCardinalityEstimator(tiny_db, oracle=oracle)
+        pred = JoinPredicate(ColumnRef("ci", "movie_id"), ColumnRef("t", "id"))
+        est.estimate_rows((_rel("ci"), _rel("t")), (), (pred,), "q")
+        executions = oracle.executions
+        est.estimate_rows((_rel("ci"), _rel("t")), (), (pred,), "q")
+        assert oracle.executions == executions
+
+    def test_reset_clears_cache(self, tiny_db):
+        oracle = TrueCardinalityOracle(tiny_db)
+        est = OracleCardinalityEstimator(tiny_db, oracle=oracle)
+        pred = JoinPredicate(ColumnRef("ci", "movie_id"), ColumnRef("t", "id"))
+        est.estimate_rows((_rel("ci"), _rel("t")), (), (pred,), "q")
+        oracle.reset()
+        assert oracle._count_cache == {}
+
+    def test_three_way_join_matches_bruteforce(self, tiny_db, oracle_estimator):
+        import numpy as np
+
+        preds = (JoinPredicate(ColumnRef("mk", "movie_id"), ColumnRef("t", "id")),
+                 JoinPredicate(ColumnRef("mk", "keyword_id"), ColumnRef("k", "id")))
+        filt = (Comparison(ColumnRef("t", "year"), ">", 2015),)
+        rows = oracle_estimator.estimate_rows(
+            (_rel("t"), _rel("mk"), _rel("k")), filt, preds, "q3")
+        t = tiny_db.table("t")
+        mk = tiny_db.table("mk")
+        selected = set(t.column("id")[t.column("year") > 2015].tolist())
+        expected = int(np.isin(mk.column("movie_id"),
+                               np.array(sorted(selected))).sum())
+        assert rows == expected
+
+
+class TestNoiseInjection:
+    def test_noise_is_deterministic_per_subset(self, estimator):
+        noisy = NoisyCardinalityEstimator(estimator, mu=0.0, sigma=2.0, seed=7)
+        pred = JoinPredicate(ColumnRef("mk", "movie_id"), ColumnRef("t", "id"))
+        args = ((_rel("mk"), _rel("t")), (), (pred,), "q")
+        assert noisy.estimate_rows(*args) == noisy.estimate_rows(*args)
+
+    def test_noise_changes_with_seed(self, estimator):
+        pred = JoinPredicate(ColumnRef("mk", "movie_id"), ColumnRef("t", "id"))
+        args = ((_rel("mk"), _rel("t")), (), (pred,), "q")
+        a = NoisyCardinalityEstimator(estimator, sigma=2.0, seed=1).estimate_rows(*args)
+        b = NoisyCardinalityEstimator(estimator, sigma=2.0, seed=2).estimate_rows(*args)
+        assert a != b
+
+    def test_base_scans_unperturbed(self, estimator):
+        noisy = NoisyCardinalityEstimator(estimator, sigma=3.0, seed=1)
+        args = ((_rel("t"),), (), (), "q")
+        assert noisy.estimate_rows(*args) == estimator.estimate_rows(*args)
+
+    def test_zero_sigma_is_identity(self, estimator):
+        noisy = NoisyCardinalityEstimator(estimator, mu=0.0, sigma=0.0)
+        pred = JoinPredicate(ColumnRef("mk", "movie_id"), ColumnRef("t", "id"))
+        args = ((_rel("mk"), _rel("t")), (), (pred,), "q")
+        assert noisy.estimate_rows(*args) == pytest.approx(
+            estimator.estimate_rows(*args))
+
+
+class TestLearnedAndPessimistic:
+    def test_learned_falls_back_on_strings(self, tiny_db):
+        learned = LearnedCardinalityEstimator(tiny_db, model="neurocard")
+        default = DefaultCardinalityEstimator(tiny_db)
+        pred = Comparison(ColumnRef("t", "kind"), "=", "tv")
+        args = ((_rel("t"),), (pred,), (), "q")
+        assert learned.estimate_rows(*args) == default.estimate_rows(*args)
+
+    def test_learned_accurate_on_numeric(self, tiny_db):
+        learned = LearnedCardinalityEstimator(tiny_db, model="neurocard")
+        pred = JoinPredicate(ColumnRef("mk", "movie_id"), ColumnRef("t", "id"))
+        filt = (Comparison(ColumnRef("t", "year"), ">", 2015),)
+        rows = learned.estimate_rows((_rel("mk"), _rel("t")), filt, (pred,), "q")
+        oracle_rows = OracleCardinalityEstimator(tiny_db).estimate_rows(
+            (_rel("mk"), _rel("t")), filt, (pred,), "q")
+        assert rows == pytest.approx(oracle_rows, rel=3.0)
+
+    def test_unknown_model_rejected(self, tiny_db):
+        with pytest.raises(ValueError):
+            LearnedCardinalityEstimator(tiny_db, model="gpt")
+
+    def test_pessimistic_never_below_default_on_joins(self, tiny_db):
+        default = DefaultCardinalityEstimator(tiny_db)
+        pessimistic = PessimisticCardinalityEstimator(tiny_db)
+        pred = JoinPredicate(ColumnRef("ci", "movie_id"), ColumnRef("mk", "movie_id"))
+        args = ((_rel("ci"), _rel("mk")), (), (pred,), "q")
+        assert pessimistic.estimate_rows(*args) >= default.estimate_rows(*args)
+
+
+class TestCostModel:
+    def test_scan_cost_grows_with_rows(self):
+        model = CostModel()
+        assert model.scan_cost(10_000, 10_000) > model.scan_cost(100, 100)
+
+    def test_index_nl_cheap_for_small_outer(self):
+        model = CostModel()
+        hash_cost = model.join_cost(JoinMethod.HASH, 10, 100_000, 50)
+        index_cost = model.join_cost(JoinMethod.INDEX_NL, 10, 100_000, 50,
+                                     inner_indexed=True)
+        assert index_cost < hash_cost
+
+    def test_index_nl_expensive_for_large_outer(self):
+        model = CostModel()
+        hash_cost = model.join_cost(JoinMethod.HASH, 1_000_000, 1_000, 1_000_000)
+        index_cost = model.join_cost(JoinMethod.INDEX_NL, 1_000_000, 1_000,
+                                     1_000_000, inner_indexed=True)
+        assert hash_cost < index_cost
+
+    def test_nested_loop_is_quadratic(self):
+        model = CostModel()
+        assert (model.join_cost(JoinMethod.NL, 1000, 1000, 10)
+                > model.join_cost(JoinMethod.HASH, 1000, 1000, 10))
+
+    def test_index_nl_requires_index(self):
+        with pytest.raises(ValueError):
+            CostModel().join_cost(JoinMethod.INDEX_NL, 10, 10, 10, inner_indexed=False)
+
+    def test_materialize_and_analyze_costs(self):
+        model = CostModel(CostParameters())
+        assert model.materialize_cost(1000) > 0
+        assert model.analyze_cost(1000) > 0
+
+
+class TestJoinEnumeration:
+    def test_plan_covers_all_relations(self, tiny_db):
+        plan = Optimizer(tiny_db).plan(five_way_query())
+        assert {r.alias for r in plan.leaf_relations()} == {"t", "mk", "k", "ci", "n"}
+        assert len(plan.join_nodes()) == 4
+
+    def test_single_relation_plan_is_scan(self, tiny_db):
+        spj = SPJQuery(name="s", relations=(_rel("t"),),
+                       filters=(Comparison(ColumnRef("t", "year"), ">", 2000),))
+        plan = Optimizer(tiny_db).plan(spj)
+        assert isinstance(plan.root, ScanNode)
+
+    def test_greedy_used_beyond_dp_limit(self, tiny_db):
+        config = OptimizerConfig(enumerator=EnumeratorConfig(dp_relation_limit=3))
+        plan = Optimizer(tiny_db, config=config).plan(five_way_query())
+        assert {r.alias for r in plan.leaf_relations()} == {"t", "mk", "k", "ci", "n"}
+
+    def test_cross_product_handled(self, tiny_db):
+        spj = SPJQuery(name="cross",
+                       relations=(_rel("t"), _rel("k")))
+        plan = Optimizer(tiny_db).plan(spj)
+        assert len(plan.leaf_relations()) == 2
+        assert plan.root.predicates == ()
+
+    def test_index_nl_disabled_without_indexes(self, tiny_schema):
+        from repro.storage.database import IndexConfig
+        from tests.conftest import build_tiny_database
+
+        db = build_tiny_database(tiny_schema, index_config=IndexConfig.NONE)
+        plan = Optimizer(db).plan(five_way_query())
+        assert all(j.method is not JoinMethod.INDEX_NL for j in plan.join_nodes())
+
+    def test_use_config_bans_nested_loops(self, tiny_db):
+        config = OptimizerConfig(enumerator=use_config())
+        plan = Optimizer(tiny_db, config=config).plan(five_way_query())
+        assert all(j.method in (JoinMethod.HASH, JoinMethod.MERGE)
+                   for j in plan.join_nodes())
+
+    def test_estimate_returns_cost_and_rows(self, tiny_db):
+        cost, rows = Optimizer(tiny_db).estimate(five_way_query())
+        assert cost > 0 and rows >= 1
+
+    def test_invocation_counter(self, tiny_db):
+        optimizer = Optimizer(tiny_db)
+        optimizer.plan(five_way_query())
+        optimizer.plan(five_way_query())
+        assert optimizer.invocations == 2
+
+    def test_oracle_plan_not_worse_than_default(self, tiny_db):
+        """The oracle-driven plan never has higher *true* cost than Default's."""
+        from repro.executor.executor import Executor
+
+        spj = five_way_query()
+        default_plan = Optimizer(tiny_db).plan(spj)
+        optimal_plan = Optimizer(tiny_db).with_estimator(
+            OracleCardinalityEstimator(tiny_db)).plan(spj)
+        executor = Executor(tiny_db)
+        default_rows = sum(j.actual_rows or 0 for j in default_plan.join_nodes())
+        executor.execute(default_plan)
+        executor.execute(optimal_plan)
+        default_rows = sum(j.actual_rows for j in default_plan.join_nodes())
+        optimal_rows = sum(j.actual_rows for j in optimal_plan.join_nodes())
+        assert optimal_rows <= default_rows * 1.5
+
+
+class TestRobustHelpers:
+    def test_fs_config_sets_robustness(self):
+        config = fs_config()
+        assert config.robustness_weight > 0
+        assert config.robustness_blowup > 1
+
+    def test_optimality_range_contains(self):
+        window = optimality_range(100.0)
+        assert window.contains(100)
+        assert window.contains(30)
+        assert not window.contains(1000)
+        assert window.low == pytest.approx(25.0)
+        assert window.high == pytest.approx(400.0)

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+* equi-join primitives agree with a brute-force reference on arbitrary key
+  arrays;
+* every QSA strategy produces a covering subquery set for randomly generated
+  join queries over the tiny schema (Definition 1);
+* QuerySplit produces the same result as direct plan execution for randomly
+  generated SPJ queries (Theorem 1);
+* histogram selectivities are valid probabilities and monotone;
+* the plan-similarity score is symmetric and bounded by the relation count.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import Histogram
+from repro.core.qsa import QSAStrategy, generate_subqueries
+from repro.core.splitter import QuerySplitConfig, QuerySplitExecutor
+from repro.core.ssa import CostFunction
+from repro.core.subquery import covers
+from repro.executor.executor import Executor
+from repro.executor.joins import equi_join_indices, join_result_size
+from repro.optimizer.optimizer import Optimizer
+from repro.plan.expressions import ColumnRef, Comparison, JoinPredicate
+from repro.plan.logical import AggregateSpec, Query, RelationRef, SPJQuery
+from repro.plan.similarity import plan_similarity
+from tests.conftest import build_tiny_database
+
+# ----------------------------------------------------------------------
+# Join primitives
+# ----------------------------------------------------------------------
+keys = st.lists(st.integers(min_value=0, max_value=12), min_size=0, max_size=60)
+
+
+@given(left=keys, right=keys)
+@settings(max_examples=60, deadline=None)
+def test_equi_join_matches_bruteforce(left, right):
+    left_arr = np.array(left, dtype=np.int64)
+    right_arr = np.array(right, dtype=np.int64)
+    li, ri = equi_join_indices(left_arr, right_arr)
+    expected = {(i, j) for i, lv in enumerate(left) for j, rv in enumerate(right)
+                if lv == rv}
+    assert {(int(a), int(b)) for a, b in zip(li, ri)} == expected
+    assert join_result_size(left_arr, right_arr) == len(expected)
+
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False), min_size=2, max_size=300),
+       probe=st.floats(min_value=-2e6, max_value=2e6, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_histogram_selectivity_is_probability(values, probe):
+    hist = Histogram.from_values(np.array(values))
+    if hist is None:
+        return
+    sel = hist.selectivity_le(probe)
+    assert 0.0 <= sel <= 1.0
+    assert hist.selectivity_range(None, None) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Random query generation over the tiny schema
+# ----------------------------------------------------------------------
+_JOINS = {
+    ("mk", "t"): ("movie_id", "id"),
+    ("mk", "k"): ("keyword_id", "id"),
+    ("ci", "t"): ("movie_id", "id"),
+    ("ci", "n"): ("person_id", "id"),
+    ("ci", "mk"): ("movie_id", "movie_id"),
+}
+_FILTERS = {
+    "t": Comparison(ColumnRef("t", "year"), ">", 2005),
+    "k": Comparison(ColumnRef("k", "kw"), "<", "kw_020"),
+    "n": Comparison(ColumnRef("n", "gender"), "=", "m"),
+    "ci": Comparison(ColumnRef("ci", "note"), "=", "(voice)"),
+    "mk": Comparison(ColumnRef("mk", "keyword_id"), "<=", 20),
+}
+
+
+@st.composite
+def random_spj(draw):
+    """A random connected SPJ query over the tiny schema."""
+    edges = draw(st.lists(st.sampled_from(sorted(_JOINS)), min_size=1, max_size=5,
+                          unique=True))
+    aliases = sorted({a for pair in edges for a in pair})
+    # Keep only edges forming a connected graph rooted at the first alias.
+    connected = {aliases[0]}
+    kept = []
+    changed = True
+    while changed:
+        changed = False
+        for pair in edges:
+            if pair in kept:
+                continue
+            if pair[0] in connected or pair[1] in connected:
+                kept.append(pair)
+                connected.update(pair)
+                changed = True
+    aliases = sorted(connected)
+    filters = tuple(_FILTERS[a] for a in aliases if draw(st.booleans()))
+    joins = tuple(
+        JoinPredicate(ColumnRef(left, _JOINS[(left, right)][0]),
+                      ColumnRef(right, _JOINS[(left, right)][1]))
+        for left, right in kept)
+    return SPJQuery(
+        name="random",
+        relations=tuple(RelationRef.base(a, a) for a in aliases),
+        filters=filters,
+        join_predicates=joins,
+        aggregates=(AggregateSpec("count", None, "cnt"),),
+    )
+
+
+@pytest.fixture(scope="module")
+def prop_db(tiny_schema):
+    return build_tiny_database(tiny_schema, seed=5)
+
+
+@given(spj=random_spj(), strategy=st.sampled_from(list(QSAStrategy)))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_qsa_always_covers(tiny_schema, spj, strategy):
+    subqueries = generate_subqueries(spj, tiny_schema, strategy)
+    assert covers(subqueries, spj)
+
+
+@given(spj=random_spj(),
+       strategy=st.sampled_from(list(QSAStrategy)),
+       cost_function=st.sampled_from([CostFunction.PHI1, CostFunction.PHI4,
+                                      CostFunction.PHI5]))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_querysplit_matches_direct_execution(prop_db, spj, strategy, cost_function):
+    """Theorem 1: QuerySplit's answer equals the original query's answer."""
+    expected = Executor(prop_db).execute(Optimizer(prop_db).plan(spj)).table.to_rows()
+    config = QuerySplitConfig(qsa_strategy=strategy, cost_function=cost_function)
+    runner = QuerySplitExecutor(prop_db, Optimizer(prop_db), config=config)
+    report = runner.run(Query.from_spj(spj))
+    assert report.final_table.to_rows() == expected
+
+
+@given(spj=random_spj())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_similarity_symmetric_and_bounded(prop_db, spj):
+    plan_a = Optimizer(prop_db).plan(spj)
+    plan_b = Optimizer(prop_db).plan(spj)
+    score = plan_similarity(plan_a, plan_b)
+    assert score == plan_similarity(plan_b, plan_a)
+    assert 0 <= score <= len(spj.relations)
+
+
+@given(spj=random_spj())
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_substitution_drops_only_internal_predicates(prop_db, spj):
+    """Substituting a temp covering some aliases never loses external predicates."""
+    aliases = sorted(spj.covered_aliases())
+    if len(aliases) < 2:
+        return
+    covered = frozenset(aliases[:2])
+    temp = RelationRef.temp("__temp_x", covered)
+    rewritten = spj.substitute(temp)
+    kept = set(rewritten.join_predicates)
+    for pred in spj.join_predicates:
+        internal = all(alias in covered for alias in pred.aliases())
+        assert (pred not in kept) == internal or not internal

@@ -1,0 +1,143 @@
+"""Tests for the re-optimization baselines, the registry, and the reports."""
+
+import pytest
+
+from repro.executor.executor import Executor
+from repro.optimizer.optimizer import Optimizer
+from repro.plan.physical import JoinMethod
+from repro.reopt import (
+    ALGORITHM_NAMES,
+    BaselineConfig,
+    DefaultBaseline,
+    IEFBaseline,
+    OptimalBaseline,
+    Perron19Baseline,
+    PopBaseline,
+    ReoptBaseline,
+    make_algorithm,
+)
+from repro.report import ExecutionReport, IterationRecord, WorkloadResult
+from tests.conftest import five_way_query
+
+
+@pytest.fixture(scope="module")
+def expected_rows(tiny_db):
+    plan = Optimizer(tiny_db).plan(five_way_query())
+    return Executor(tiny_db).execute(plan).table.to_rows()
+
+
+class TestRegistry:
+    def test_all_names_constructible(self, tiny_db):
+        for name in ALGORITHM_NAMES:
+            algorithm = make_algorithm(name, tiny_db)
+            assert hasattr(algorithm, "run")
+            assert algorithm.name == name or name in algorithm.name
+
+    def test_unknown_name_rejected(self, tiny_db):
+        with pytest.raises(ValueError):
+            make_algorithm("MagicSort", tiny_db)
+
+
+class TestBaselineCorrectness:
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_every_algorithm_same_answer(self, name, tiny_db, tiny_query,
+                                         expected_rows):
+        """All 14 algorithms must return the same result for the 5-way join."""
+        report = make_algorithm(name, tiny_db).run(tiny_query)
+        assert not report.timed_out
+        assert report.final_table.to_rows() == expected_rows
+
+    def test_temp_tables_dropped_after_each_query(self, tiny_db, tiny_query):
+        for name in ("QuerySplit", "Pop", "Perron19", "IEF"):
+            make_algorithm(name, tiny_db).run(tiny_query)
+            assert tiny_db.temp_table_names == []
+
+
+class TestBaselineBehaviour:
+    def test_default_never_materializes(self, tiny_db, tiny_query):
+        report = DefaultBaseline(tiny_db, Optimizer(tiny_db)).run(tiny_query)
+        assert report.materializations == 0
+        assert report.num_iterations == 1
+
+    def test_optimal_uses_oracle(self, tiny_db, tiny_query):
+        baseline = OptimalBaseline(tiny_db)
+        report = baseline.run(tiny_query)
+        assert report.materializations == 0
+        assert baseline.oracle.executions >= 0  # oracle reset after the run
+        assert report.final_rows == 1
+
+    def test_pop_materializes_every_join(self, tiny_db, tiny_query):
+        report = PopBaseline(tiny_db, Optimizer(tiny_db)).run(tiny_query)
+        # A 5-way join has 4 joins; the final one is never materialized.
+        assert report.materializations == 3
+
+    def test_perron_materializes_and_uses_high_threshold(self, tiny_db, tiny_query):
+        report = Perron19Baseline(tiny_db, Optimizer(tiny_db)).run(tiny_query)
+        assert report.materializations >= 1
+        assert Perron19Baseline.trigger_threshold == 32.0
+
+    def test_reopt_materializes_only_on_trigger(self, tiny_db, tiny_query):
+        report = ReoptBaseline(tiny_db, Optimizer(tiny_db)).run(tiny_query)
+        assert report.materializations <= 3
+        assert all(it.materialized == it.replanned or not it.materialized
+                   for it in report.iterations)
+
+    def test_reopt_points_are_pipeline_breakers(self, tiny_db):
+        baseline = ReoptBaseline(tiny_db, Optimizer(tiny_db))
+        plan = Optimizer(tiny_db).plan(five_way_query())
+        for node in baseline.materialization_points(plan):
+            assert node.is_pipeline_breaker
+
+    def test_ief_selects_single_uncertain_point(self, tiny_db):
+        baseline = IEFBaseline(tiny_db, Optimizer(tiny_db))
+        plan = Optimizer(tiny_db).plan(five_way_query())
+        points = baseline.materialization_points(plan)
+        assert len(points) <= 1
+
+    def test_statistics_toggle_respected(self, tiny_db, tiny_query):
+        config = BaselineConfig(collect_statistics=False)
+        report = Perron19Baseline(tiny_db, Optimizer(tiny_db), config=config).run(tiny_query)
+        assert report.stats_collections == 0
+
+    def test_timeout_flag(self, tiny_db, tiny_query):
+        config = BaselineConfig(timeout_seconds=0.0)
+        report = PopBaseline(tiny_db, Optimizer(tiny_db), config=config).run(tiny_query)
+        assert report.timed_out
+        assert report.total_time >= 0.0
+
+
+class TestReports:
+    def _record(self, **kwargs):
+        defaults = dict(index=0, description="x", aliases=frozenset({"a"}),
+                        result_rows=10, wall_time=0.5, memory_bytes=100,
+                        materialized=True, replanned=False)
+        defaults.update(kwargs)
+        return IterationRecord(**defaults)
+
+    def test_materialization_metrics(self):
+        report = ExecutionReport(query_name="q", algorithm="A", total_time=1.0,
+                                 iterations=[self._record(),
+                                             self._record(index=1, materialized=False)])
+        assert report.num_iterations == 2
+        assert report.materializations == 1
+        assert report.materialized_bytes == 100
+        assert report.avg_memory_per_materialization == 100
+        assert report.max_intermediate_rows == 10
+
+    def test_empty_report_metrics(self):
+        report = ExecutionReport(query_name="q", algorithm="A", total_time=0.0)
+        assert report.avg_memory_per_materialization == 0.0
+        assert report.max_intermediate_rows == 0
+        assert report.timeline() == []
+
+    def test_workload_result_aggregation(self):
+        result = WorkloadResult(algorithm="A", reports=[
+            ExecutionReport(query_name="q1", algorithm="A", total_time=1.0),
+            ExecutionReport(query_name="q2", algorithm="A", total_time=2.0,
+                            timed_out=True),
+        ])
+        assert result.total_time == 3.0
+        assert result.timeouts == 1
+        assert result.report_for("q1").query_name == "q1"
+        with pytest.raises(KeyError):
+            result.report_for("zz")

@@ -1,0 +1,141 @@
+"""Unit tests for the storage subsystem: tables, indexes, database."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.statistics import TableStats
+from repro.storage.database import Database, IndexConfig
+from repro.storage.index import SortedIndex
+from repro.storage.table import DataTable
+
+
+class TestDataTable:
+    def test_num_rows_and_columns(self):
+        table = DataTable("x", {"a": np.arange(5), "b": np.arange(5) * 2})
+        assert table.num_rows == 5
+        assert table.column_names == ["a", "b"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DataTable("x", {"a": np.arange(5), "b": np.arange(3)})
+
+    def test_empty_table(self):
+        table = DataTable("x", {})
+        assert table.num_rows == 0
+
+    def test_take_and_filter(self):
+        table = DataTable("x", {"a": np.arange(10)})
+        taken = table.take(np.array([1, 3, 5]))
+        assert list(taken.column("a")) == [1, 3, 5]
+        filtered = table.filter(table.column("a") % 2 == 0)
+        assert list(filtered.column("a")) == [0, 2, 4, 6, 8]
+
+    def test_project_and_rename(self):
+        table = DataTable("x", {"a": np.arange(3), "b": np.arange(3)})
+        assert table.project(["b"]).column_names == ["b"]
+        renamed = table.rename_columns({"a": "z"})
+        assert set(renamed.column_names) == {"z", "b"}
+
+    def test_from_rows_round_trip(self):
+        table = DataTable.from_rows("x", ["a", "s"], [(1, "p"), (2, "q")])
+        assert table.column("a").dtype == np.int64
+        assert table.column("s").dtype == object
+        assert table.to_rows() == [(1, "p"), (2, "q")]
+
+    def test_from_rows_empty(self):
+        table = DataTable.from_rows("x", ["a"], [])
+        assert table.num_rows == 0
+
+    def test_missing_column_raises(self):
+        table = DataTable("x", {"a": np.arange(3)})
+        with pytest.raises(KeyError):
+            table.column("zz")
+
+    def test_memory_accounting_counts_strings(self):
+        ints = DataTable("x", {"a": np.arange(100)})
+        strings = DataTable("y", {"s": np.array(["abc"] * 100, dtype=object)})
+        assert ints.memory_bytes == 800
+        assert strings.memory_bytes > 800
+
+
+class TestSortedIndex:
+    def test_lookup_single(self):
+        values = np.array([5, 3, 5, 1, 5])
+        index = SortedIndex("t", "c", values)
+        assert sorted(index.lookup(5)) == [0, 2, 4]
+        assert list(index.lookup(99)) == []
+
+    def test_lookup_batch_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 50, 500)
+        index = SortedIndex("t", "c", values)
+        probes = rng.integers(0, 60, 80)
+        probe_pos, row_ids = index.lookup_batch(probes)
+        expected = sum(int((values == p).sum()) for p in probes)
+        assert len(row_ids) == expected
+        assert np.all(values[row_ids] == probes[probe_pos])
+
+    def test_lookup_batch_empty(self):
+        index = SortedIndex("t", "c", np.array([1, 2, 3]))
+        probe_pos, row_ids = index.lookup_batch(np.array([9, 10]))
+        assert len(probe_pos) == 0 and len(row_ids) == 0
+
+    def test_range_lookup(self):
+        values = np.arange(100)
+        index = SortedIndex("t", "c", values)
+        assert len(index.range_lookup(10, 19)) == 10
+        assert len(index.range_lookup(None, 9)) == 10
+        assert len(index.range_lookup(90, None)) == 10
+
+
+class TestDatabase:
+    def test_load_requires_schema_table(self, tiny_schema):
+        db = Database(tiny_schema)
+        with pytest.raises(KeyError):
+            db.load_table(DataTable("unknown", {"a": np.arange(3)}))
+
+    def test_pk_fk_indexes_built(self, tiny_db):
+        assert tiny_db.has_index("t", "id")
+        assert tiny_db.has_index("mk", "movie_id")
+        assert tiny_db.has_index("mk", "keyword_id")
+        assert not tiny_db.has_index("t", "year")
+
+    def test_pk_only_config(self, tiny_schema):
+        from tests.conftest import build_tiny_database
+
+        db = build_tiny_database(tiny_schema, index_config=IndexConfig.PK_ONLY)
+        assert db.has_index("t", "id")
+        assert not db.has_index("mk", "movie_id")
+
+    def test_with_index_config_clones(self, tiny_db):
+        clone = tiny_db.with_index_config(IndexConfig.PK_ONLY)
+        assert not clone.has_index("mk", "movie_id")
+        assert tiny_db.has_index("mk", "movie_id")
+        assert clone.table("t") is tiny_db.table("t")
+
+    def test_stats_available_after_load(self, tiny_db):
+        stats = tiny_db.stats("ci")
+        assert stats.num_rows == tiny_db.table("ci").num_rows
+        assert stats.analyzed
+
+    def test_temp_table_lifecycle(self, tiny_schema):
+        from tests.conftest import build_tiny_database
+
+        db = build_tiny_database(tiny_schema)
+        table = DataTable("temp", {"t.id": np.arange(10)})
+        name = db.register_temp(table, TableStats.row_count_only(10),
+                                frozenset({"t"}))
+        assert db.has_table(name)
+        assert db.is_temp(name)
+        assert db.stats(name).num_rows == 10
+        assert db.temp_entry(name).covered_aliases == frozenset({"t"})
+        assert db.temp_memory_bytes() > 0
+        db.drop_temp_tables()
+        assert not db.has_table(name)
+        assert db.temp_table_names == []
+
+    def test_unknown_table_raises(self, tiny_db):
+        with pytest.raises(KeyError):
+            tiny_db.table("missing")
+        with pytest.raises(KeyError):
+            tiny_db.stats("missing")
