@@ -5,7 +5,10 @@ paper *"Efficient Query Re-optimization with Judicious Subquery Selections"*
 (Zhao, Zhang, Gao).  It contains:
 
 * an in-memory columnar database engine (catalog, statistics, indexes,
-  vectorized executor) standing in for PostgreSQL;
+  late-materializing vectorized executor with a cross-policy subplan cache)
+  standing in for PostgreSQL -- see ARCHITECTURE.md for the
+  storage -> plan -> operator-pipeline -> re-optimization layering and the
+  SubplanCache keying rules;
 * a PostgreSQL-style cost-based optimizer with pluggable cardinality
   estimators (default, true-cardinality oracle, noise-injected, learned,
   pessimistic);

@@ -18,6 +18,7 @@ from typing import Callable, Sequence
 
 from repro.core.qsa import QSAStrategy
 from repro.core.ssa import CostFunction
+from repro.executor.subplan_cache import SubplanCache
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.plan.logical import Query
 from repro.report import WorkloadResult
@@ -36,6 +37,10 @@ class HarnessConfig:
     #: Optional factory producing the cardinality estimator driving the
     #: optimizer (used by the CE-noise robustness study).
     estimator_factory: Callable[[Database], CardinalityEstimator] | None = None
+    #: Optional engine-level subplan cache shared across every query (and,
+    #: when the same instance is passed to several runs, across whole
+    #: algorithms/policies).  ``None`` keeps runs fully independent.
+    subplan_cache: SubplanCache | None = None
     verbose: bool = False
 
 
@@ -52,6 +57,7 @@ def run_query(database: Database, query: Query, algorithm: str,
         qsa_strategy=config.qsa_strategy,
         cost_function=config.cost_function,
         estimator=estimator,
+        subplan_cache=config.subplan_cache,
     )
     return runner.run(query)
 

@@ -1,0 +1,131 @@
+"""Vectorized aggregation kernels (shared with the non-SPJ execution path).
+
+GROUP BY aggregation is computed with sort + segment reductions
+(``np.ufunc.reduceat``) instead of a per-group Python loop: rows are ordered
+by group id once, group boundaries are located with ``searchsorted``, and
+every aggregate is then a single reduceat call over the sorted values.  The
+output arrays keep the historical ``object`` dtype contract (mixed int/float
+aggregate values per table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.plan.expressions import ColumnRef
+from repro.plan.logical import AggregateSpec
+from repro.storage.table import DataTable
+
+
+def _num_rows(columns: dict[str, np.ndarray]) -> int:
+    if not columns:
+        return 0
+    return len(next(iter(columns.values())))
+
+
+def _scalar_aggregate(columns: dict[str, np.ndarray],
+                      aggregates: tuple[AggregateSpec, ...],
+                      num_rows: int | None = None) -> DataTable:
+    """Apply scalar (ungrouped) aggregates to a result.
+
+    ``num_rows`` overrides the row count inferred from ``columns`` -- needed
+    for pure ``COUNT(*)`` queries whose input chunk carries no columns.
+    """
+    rows = _num_rows(columns) if num_rows is None else num_rows
+    out: dict[str, np.ndarray] = {}
+    for spec in aggregates:
+        out[spec.output_name] = np.array([_aggregate_value(columns, spec, rows)],
+                                         dtype=object)
+    return DataTable(name="aggregate", columns=out)
+
+
+def group_aggregate(columns: dict[str, np.ndarray],
+                    group_by: tuple[ColumnRef, ...],
+                    aggregates: tuple[AggregateSpec, ...]) -> DataTable:
+    """GROUP BY aggregation over a joined result."""
+    rows = _num_rows(columns)
+    if not group_by:
+        return _scalar_aggregate(columns, aggregates)
+    key_arrays = [columns[ref.qualified] for ref in group_by]
+    # Build group ids via successive uniquification of the key columns.
+    group_ids = np.zeros(rows, dtype=np.int64)
+    for arr in key_arrays:
+        _, inverse = np.unique(arr, return_inverse=True)
+        group_ids = group_ids * (int(inverse.max()) + 1 if rows else 1) + inverse
+    uniq_ids, group_index, inverse = np.unique(group_ids, return_index=True,
+                                               return_inverse=True)
+    out: dict[str, np.ndarray] = {}
+    for ref in group_by:
+        out[ref.qualified] = columns[ref.qualified][group_index]
+    order = np.argsort(inverse, kind="stable")
+    starts = np.searchsorted(inverse[order], np.arange(len(uniq_ids)))
+    counts = np.diff(np.append(starts, rows))
+    for spec in aggregates:
+        data = (columns[spec.column.qualified] if spec.column is not None else None)
+        out[spec.output_name] = _segment_aggregate(data, order, starts, counts, spec)
+    return DataTable(name="aggregate", columns=out)
+
+
+def _segment_aggregate(data: np.ndarray | None, order: np.ndarray,
+                       starts: np.ndarray, counts: np.ndarray,
+                       spec: AggregateSpec) -> np.ndarray:
+    """One aggregate over every group segment, fully vectorized.
+
+    ``order`` sorts the input rows by group; ``starts`` holds each group's
+    first position in that ordering.  Groups are never empty (they exist
+    because at least one row mapped to them), which is what makes plain
+    ``reduceat`` safe here.
+    """
+    num_groups = len(starts)
+    out = np.empty(num_groups, dtype=object)
+    if num_groups == 0:
+        return out
+    if spec.func == "count":
+        out[:] = [int(c) for c in counts]
+        return out
+    sorted_vals = data[order]
+    if spec.func == "sum":
+        out[:] = list(np.add.reduceat(sorted_vals, starts))
+    elif spec.func == "min":
+        out[:] = list(np.minimum.reduceat(sorted_vals, starts))
+    elif spec.func == "max":
+        out[:] = list(np.maximum.reduceat(sorted_vals, starts))
+    else:  # avg
+        sums = np.add.reduceat(sorted_vals, starts).astype(np.float64)
+        out[:] = [float(v) for v in sums / counts]
+    return out
+
+
+def union_all(tables: list[DataTable]) -> DataTable:
+    """UNION ALL of result tables with identical column sets."""
+    if not tables:
+        return DataTable(name="union", columns={})
+    names = tables[0].column_names
+    columns = {
+        name: np.concatenate([t.column(name) for t in tables]) for name in names
+    }
+    return DataTable(name="union", columns=columns)
+
+
+def _aggregate_value(columns: dict[str, np.ndarray], spec: AggregateSpec,
+                     rows: int):
+    if spec.func == "count" and spec.column is None:
+        return rows
+    data = columns[spec.column.qualified]
+    return _aggregate_over(data, np.arange(rows), spec)
+
+
+def _aggregate_over(data: np.ndarray | None, member_rows: np.ndarray,
+                    spec: AggregateSpec):
+    if spec.func == "count":
+        return int(len(member_rows))
+    if data is None or len(member_rows) == 0:
+        return None
+    values = data[member_rows]
+    if spec.func == "min":
+        return values.min()
+    if spec.func == "max":
+        return values.max()
+    if spec.func == "sum":
+        return values.sum()
+    return float(values.sum()) / len(values)

@@ -1,0 +1,310 @@
+"""Late-materialization chunks: selection-vector intermediates.
+
+A :class:`Chunk` is the executor's intermediate-result representation.  It
+does *not* store the payload columns of the rows it describes; it stores one
+**row-id vector per input relation** (a selection vector into the underlying
+columnar table) plus enough metadata to resolve any column on demand.  Joins
+therefore only ever copy ``int64`` row ids, and real columns are gathered
+from the base tables exactly once -- at the plan root, or when a join needs
+its key columns.
+
+This is the standard late-materialization design of vectorized engines
+(DuckDB-style selection vectors): compared to the previous eager executor,
+which re-copied every carried column at every join, a chunk costs
+``8 * num_relations`` bytes per row regardless of how many (and how wide)
+columns the query touches.
+
+Two column-source kinds exist:
+
+* :class:`TableSource` -- rows of a base or temporary :class:`DataTable`,
+  addressed by a row-id vector (the late path);
+* :class:`InlineSource` -- already-materialized arrays (produced by
+  :func:`compact`, which the executor's *eager* compatibility mode uses to
+  reproduce the old copy-per-join behaviour for benchmarking).
+
+All gathers are funneled through a :class:`MaterializationStats` object so
+the late-materialization microbenchmark can compare bytes materialized by
+the two modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.plan.expressions import ColumnRef
+from repro.plan.logical import RelationRef
+from repro.storage.table import DataTable
+
+
+@dataclass
+class MaterializationStats:
+    """Byte/column accounting of everything an execution materialized."""
+
+    gathered_bytes: int = 0
+    gathered_columns: int = 0
+
+    def count(self, array: np.ndarray) -> None:
+        """Record one materialized array (gathered column or copied vector)."""
+        self.gathered_columns += 1
+        if array.dtype == object:
+            # Same accounting convention as DataTable.memory_bytes: pointer
+            # plus an assumed 24-byte average string payload.
+            self.gathered_bytes += array.nbytes + 24 * len(array)
+        else:
+            self.gathered_bytes += array.nbytes
+
+
+class ColumnSource:
+    """One relation's (or pre-materialized fragment's) rows inside a chunk."""
+
+    aliases: frozenset[str]
+
+    @property
+    def num_rows(self) -> int:
+        raise NotImplementedError
+
+    def covers(self, alias: str) -> bool:
+        """True if this source provides the columns of ``alias``."""
+        return alias in self.aliases
+
+    def gather(self, ref: ColumnRef,
+               stats: MaterializationStats | None = None) -> np.ndarray:
+        """Materialize one column for the rows this source selects."""
+        raise NotImplementedError
+
+    def take(self, indices: np.ndarray,
+             stats: MaterializationStats | None = None) -> "ColumnSource":
+        """A new source selecting ``self``'s rows at ``indices``."""
+        raise NotImplementedError
+
+    def rowid_columns(self) -> dict[str, np.ndarray]:
+        """Synthetic ``alias.__rowid`` columns representing this source's rows.
+
+        Used when nothing above the plan needs any real column of the source
+        but the row multiplicity must still be represented in the output.
+        """
+        raise NotImplementedError
+
+    @property
+    def retained_bytes(self) -> int:
+        """Bytes this source keeps alive beyond the stored tables."""
+        raise NotImplementedError
+
+
+class TableSource(ColumnSource):
+    """Rows of a base or temporary table addressed by a row-id vector.
+
+    ``row_ids=None`` is the *identity* selection (an unfiltered scan): every
+    table row in order.  Identity sources gather columns by reference (zero
+    copy) and turn the first ``take`` into the index vector itself, so an
+    unfiltered scan of a large table costs nothing until a filter or join
+    actually selects from it.
+    """
+
+    __slots__ = ("relation", "table", "row_ids", "aliases")
+
+    def __init__(self, relation: RelationRef, table: DataTable,
+                 row_ids: np.ndarray | None = None):
+        self.relation = relation
+        self.table = table
+        self.row_ids = row_ids
+        self.aliases = relation.covered_aliases
+
+    @property
+    def num_rows(self) -> int:
+        if self.row_ids is None:
+            return self.table.num_rows
+        return len(self.row_ids)
+
+    def _storage_name(self, ref: ColumnRef) -> str:
+        # Temporary tables store columns under their original qualified
+        # names; base tables use bare column names.
+        return ref.qualified if self.relation.is_temp else ref.column
+
+    def gather(self, ref: ColumnRef,
+               stats: MaterializationStats | None = None) -> np.ndarray:
+        if self.row_ids is None:
+            # Identity selection: hand out the stored column by reference.
+            return self.table.column(self._storage_name(ref))
+        data = self.table.gather(self._storage_name(ref), self.row_ids)
+        if stats is not None:
+            stats.count(data)
+        return data
+
+    def take(self, indices: np.ndarray,
+             stats: MaterializationStats | None = None) -> "TableSource":
+        if self.row_ids is None:
+            # arange[indices] == indices: reuse the (read-only) index vector.
+            return TableSource(self.relation, self.table, indices)
+        row_ids = self.row_ids[indices]
+        if stats is not None:
+            stats.count(row_ids)
+        return TableSource(self.relation, self.table, row_ids)
+
+    def rowid_columns(self) -> dict[str, np.ndarray]:
+        if self.row_ids is None:
+            return {f"{self.relation.alias}.__rowid":
+                    np.arange(self.table.num_rows, dtype=np.int64)}
+        return {f"{self.relation.alias}.__rowid": self.row_ids}
+
+    @property
+    def retained_bytes(self) -> int:
+        return 0 if self.row_ids is None else self.row_ids.nbytes
+
+    def __repr__(self) -> str:
+        return (f"TableSource({self.relation.alias}, rows={self.num_rows})")
+
+
+class InlineSource(ColumnSource):
+    """Already-materialized columns keyed by qualified name."""
+
+    __slots__ = ("aliases", "columns", "_num_rows")
+
+    def __init__(self, aliases: frozenset[str], columns: dict[str, np.ndarray],
+                 num_rows: int):
+        self.aliases = aliases
+        self.columns = columns
+        self._num_rows = num_rows
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def gather(self, ref: ColumnRef,
+               stats: MaterializationStats | None = None) -> np.ndarray:
+        # The data is already materialized: handing out the stored array
+        # costs nothing, exactly like the old eager executor reusing its
+        # carried column dict.
+        return self.columns[ref.qualified]
+
+    def take(self, indices: np.ndarray,
+             stats: MaterializationStats | None = None) -> "InlineSource":
+        taken: dict[str, np.ndarray] = {}
+        for name, arr in self.columns.items():
+            out = arr[indices]
+            if stats is not None:
+                stats.count(out)
+            taken[name] = out
+        return InlineSource(self.aliases, taken, len(indices))
+
+    def rowid_columns(self) -> dict[str, np.ndarray]:
+        return {name: arr for name, arr in self.columns.items()
+                if name.endswith(".__rowid")}
+
+    @property
+    def retained_bytes(self) -> int:
+        return sum(arr.nbytes for arr in self.columns.values())
+
+    def __repr__(self) -> str:
+        return f"InlineSource({sorted(self.aliases)}, rows={self.num_rows})"
+
+
+@dataclass
+class Chunk:
+    """A late-materialized intermediate result (one source per relation)."""
+
+    sources: tuple[ColumnSource, ...]
+    num_rows: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.num_rows < 0:
+            self.num_rows = self.sources[0].num_rows if self.sources else 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> frozenset[str]:
+        """All original query aliases this chunk's rows cover."""
+        result: set[str] = set()
+        for source in self.sources:
+            result.update(source.aliases)
+        return frozenset(result)
+
+    def covers(self, alias: str) -> bool:
+        return any(source.covers(alias) for source in self.sources)
+
+    def source_for(self, alias: str) -> ColumnSource:
+        for source in self.sources:
+            if source.covers(alias):
+                return source
+        raise KeyError(f"chunk does not cover alias {alias!r}")
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def column(self, ref: ColumnRef,
+               stats: MaterializationStats | None = None) -> np.ndarray:
+        """Materialize one column for every row of the chunk."""
+        return self.source_for(ref.alias).gather(ref, stats)
+
+    def materialize(self, refs: tuple[ColumnRef, ...],
+                    stats: MaterializationStats | None = None
+                    ) -> dict[str, np.ndarray]:
+        """Gather ``refs`` (those the chunk covers) into a column dict."""
+        return {ref.qualified: self.column(ref, stats) for ref in refs
+                if self.covers(ref.alias)}
+
+    # ------------------------------------------------------------------
+    # Row selection
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray,
+             stats: MaterializationStats | None = None) -> "Chunk":
+        """A new chunk containing this chunk's rows at ``indices``."""
+        return Chunk(tuple(source.take(indices, stats)
+                           for source in self.sources), len(indices))
+
+
+def merge_chunks(left: Chunk, left_idx: np.ndarray,
+                 right: Chunk, right_idx: np.ndarray,
+                 stats: MaterializationStats | None = None) -> Chunk:
+    """Combine the matched rows of a join into one chunk.
+
+    Only row-id vectors (or, for eager inline sources, the materialized
+    columns) are copied; no base-table column is touched.
+    """
+    sources = tuple(source.take(left_idx, stats) for source in left.sources)
+    sources += tuple(source.take(right_idx, stats) for source in right.sources)
+    return Chunk(sources, len(left_idx))
+
+
+def materialize_default(chunk: Chunk, needed: frozenset[ColumnRef],
+                        stats: MaterializationStats | None = None
+                        ) -> dict[str, np.ndarray]:
+    """Materialize every needed column the chunk covers into a column dict.
+
+    A relation none of whose columns are needed contributes a synthetic
+    ``alias.__rowid`` column so its row multiplicity is still represented
+    (pure existence joins); already-inline sources pass their columns
+    through unchanged.  Shared by the executor's default (projection-less)
+    output path and by :func:`compact`, so the late and eager modes can
+    never diverge on output semantics.
+    """
+    columns: dict[str, np.ndarray] = {}
+    for source in chunk.sources:
+        if isinstance(source, InlineSource):
+            columns.update(source.columns)
+            continue
+        covered = sorted((ref for ref in needed if source.covers(ref.alias)),
+                         key=lambda ref: ref.qualified)
+        if covered:
+            for ref in covered:
+                columns[ref.qualified] = source.gather(ref, stats)
+        else:
+            columns.update(source.rowid_columns())
+    return columns
+
+
+def compact(chunk: Chunk, needed: frozenset[ColumnRef],
+            stats: MaterializationStats | None = None) -> Chunk:
+    """Eagerly materialize ``chunk`` into a single inline source.
+
+    This reproduces the previous executor's behaviour -- gather every carried
+    (needed) column at every operator boundary -- and exists so the eager
+    execution mode stays available for the materialization microbenchmark.
+    """
+    columns = materialize_default(chunk, needed, stats)
+    return Chunk((InlineSource(chunk.aliases, columns, chunk.num_rows),),
+                 chunk.num_rows)

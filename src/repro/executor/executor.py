@@ -1,17 +1,30 @@
-"""Physical plan execution.
+"""Physical plan execution (late-materialization engine).
 
 The executor walks a :class:`repro.plan.physical.PhysicalPlan` bottom-up and
-evaluates every operator with vectorized numpy kernels.  Intermediate results
-are dictionaries mapping *qualified* column names (``"t.id"``) to arrays, so
-columns of different relations never collide and materialized temporaries can
-be re-used as relations in later subqueries without renaming.
+evaluates every node with the operator pipeline of
+:mod:`repro.executor.operators`.  Intermediate results are
+:class:`~repro.executor.chunk.Chunk` objects -- one base-table row-id vector
+per input relation -- so joins only ever copy ``int64`` selection vectors.
+Real columns are gathered from the stored tables exactly once: join keys
+when a join needs them, and output/aggregate columns at the plan root.
 
-Only the columns actually needed above each operator (output columns, join
-keys, filter columns) are carried, mirroring projection push-down.
+Two caches sit around the pipeline:
+
+* the per-plan ``cache`` argument (keyed by ``id(node)``) lets the
+  plan-driven re-optimization baselines execute one physical plan
+  incrementally, subtree by subtree, without recomputing finished subtrees;
+* an optional engine-level :class:`~repro.executor.subplan_cache.SubplanCache`
+  (keyed by the *canonical* subtree signature) shares executed subtrees
+  across plans, queries, and whole re-optimization policies.
 
 Every operator records its actual output cardinality and wall-clock time in
 the plan node (``actual_rows`` / ``actual_time``), which is the runtime
-feedback the re-optimization algorithms compare against the estimates.
+feedback the re-optimization algorithms compare against the estimates; the
+same per-operator times are returned in
+:attr:`ExecutionResult.operator_times`.
+
+See ARCHITECTURE.md for how this layer fits between storage and the
+re-optimization drivers.
 """
 
 from __future__ import annotations
@@ -19,21 +32,40 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.executor.joins import multi_key_equi_join
+from repro.executor.aggregates import (  # re-exported for compatibility
+    _aggregate_over,
+    _aggregate_value,
+    _num_rows,
+    _scalar_aggregate,
+    group_aggregate,
+    union_all,
+)
+from repro.executor.chunk import (
+    Chunk,
+    MaterializationStats,
+    compact,
+    materialize_default,
+)
+from repro.executor.operators import (  # noqa: F401  (re-exported)
+    MAX_CROSS_PRODUCT_ROWS,
+    Aggregate,
+    CrossProduct,
+    ExecContext,
+    ExecutionError,
+    HashJoin,
+    IndexNLJoin,
+    Scan,
+)
+from repro.executor.subplan_cache import SubplanCache
 from repro.plan.expressions import ColumnRef
-from repro.plan.logical import AggregateSpec
 from repro.plan.physical import JoinMethod, JoinNode, PhysicalPlan, PlanNode, ScanNode
 from repro.storage.database import Database
 from repro.storage.table import DataTable
 
-#: Guard against accidental cross-product explosions in the executor.
-MAX_CROSS_PRODUCT_ROWS = 50_000_000
-
-
-class ExecutionError(RuntimeError):
-    """Raised when a plan cannot be executed (e.g. a runaway cross product)."""
+__all__ = [
+    "Executor", "ExecutionResult", "ExecutionError", "MAX_CROSS_PRODUCT_ROWS",
+    "group_aggregate", "union_all",
+]
 
 
 @dataclass
@@ -43,7 +75,12 @@ class ExecutionResult:
     table: DataTable
     join_rows: int
     wall_time: float
+    #: Wall-clock time per operator (label -> inclusive subtree seconds),
+    #: mirroring the ``actual_time`` recorded on each plan node.
     operator_times: dict[str, float] = field(default_factory=dict)
+    #: Bytes of column data / selection vectors materialized while executing
+    #: (the quantity the late-materialization refactor minimizes).
+    materialized_bytes: int = 0
 
     @property
     def num_rows(self) -> int:
@@ -57,17 +94,38 @@ class ExecutionResult:
 
 
 class Executor:
-    """Evaluates physical plans against a :class:`Database`."""
+    """Evaluates physical plans against a :class:`Database`.
 
-    def __init__(self, database: Database):
+    Parameters
+    ----------
+    database:
+        The database to execute against.
+    subplan_cache:
+        Optional engine-level cache shared across plans and algorithms;
+        executed subtrees are stored/looked up by canonical signature.
+    materialization:
+        ``"late"`` (default) keeps intermediates as row-id chunks;
+        ``"eager"`` re-materializes every carried column at every operator,
+        reproducing the old executor's behaviour for benchmarking.
+    """
+
+    def __init__(self, database: Database,
+                 subplan_cache: SubplanCache | None = None,
+                 materialization: str = "late"):
+        if materialization not in ("late", "eager"):
+            raise ValueError(f"unknown materialization mode {materialization!r}")
         self.database = database
+        self.subplan_cache = subplan_cache
+        if subplan_cache is not None:
+            subplan_cache.bind(database)
+        self.materialization = materialization
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def execute(self, plan: PhysicalPlan,
                 extra_columns: tuple[ColumnRef, ...] = (),
-                cache: dict[int, dict[str, np.ndarray]] | None = None) -> ExecutionResult:
+                cache: dict[int, Chunk] | None = None) -> ExecutionResult:
         """Execute ``plan`` and return its result.
 
         ``extra_columns`` lists columns that must survive into the output even
@@ -75,183 +133,91 @@ class Executor:
         materializing subquery results that later subqueries will join on).
 
         ``cache`` optionally maps ``id(plan_node)`` to previously computed
-        results; the plan-driven re-optimization baselines use it to execute a
+        chunks; the plan-driven re-optimization baselines use it to execute a
         physical plan incrementally (subtree by subtree) without recomputing
         already-executed subtrees.
         """
         start = time.perf_counter()
-        needed = self._needed_columns(plan, extra_columns)
-        columns = self._execute_node(plan.root, needed, cache)
-        join_rows = _num_rows(columns)
+        stats = MaterializationStats()
+        needed = frozenset(self._needed_columns(plan, extra_columns))
+        ctx = ExecContext(database=self.database, stats=stats, needed=needed,
+                          eager=self.materialization == "eager")
+        chunk = self._execute_node(plan.root, ctx, cache)
+        join_rows = chunk.num_rows
 
         output_refs = tuple(dict.fromkeys(plan.output_columns + tuple(extra_columns)))
-        if plan.aggregates and not plan.group_by:
-            table = _scalar_aggregate(columns, plan.aggregates)
-        elif plan.aggregates:
-            table = group_aggregate(columns, plan.group_by, plan.aggregates)
+        if plan.aggregates:
+            table = Aggregate(plan).execute(ctx, chunk)
         else:
-            refs = output_refs or tuple(
-                _ref_from_qualified(name) for name in columns)
-            table = DataTable(
-                name=plan.query_name,
-                columns={ref.qualified: columns[ref.qualified] for ref in refs
-                         if ref.qualified in columns},
-            )
+            if output_refs:
+                columns = {ref.qualified: chunk.column(ref, stats)
+                           for ref in output_refs if chunk.covers(ref.alias)}
+            else:
+                columns = materialize_default(chunk, needed, stats)
+            table = DataTable(name=plan.query_name, columns=columns)
         wall = time.perf_counter() - start
-        return ExecutionResult(table=table, join_rows=join_rows, wall_time=wall)
+        return ExecutionResult(table=table, join_rows=join_rows, wall_time=wall,
+                               operator_times=dict(ctx.operator_times),
+                               materialized_bytes=stats.gathered_bytes)
 
     # ------------------------------------------------------------------
     # Node evaluation
     # ------------------------------------------------------------------
-    def _execute_node(self, node: PlanNode, needed: set[ColumnRef],
-                      cache: dict[int, dict[str, np.ndarray]] | None = None
-                      ) -> dict[str, np.ndarray]:
+    def _execute_node(self, node: PlanNode, ctx: ExecContext,
+                      cache: dict[int, Chunk] | None = None) -> Chunk:
         if cache is not None and id(node) in cache:
             return cache[id(node)]
+
+        signature = None
+        if self.subplan_cache is not None and not ctx.eager:
+            # Eager mode neither reads nor writes the subplan cache: a cached
+            # late chunk would short-circuit the copy-per-operator behaviour
+            # the mode exists to measure.
+            try:
+                signature = node.signature()
+            except TypeError:
+                # A filter predicate holds an unhashable literal: this
+                # subtree simply cannot participate in signature caching.
+                signature = None
+        if signature is not None:
+            hit = self.subplan_cache.get(signature)
+            if hit is not None:
+                node.actual_rows = hit.num_rows
+                node.actual_time = 0.0
+                label = f"Cached[{'+'.join(sorted(node.covered_aliases()))}]"
+                ctx.operator_times[label] = 0.0
+                if cache is not None:
+                    cache[id(node)] = hit
+                return hit
+
         start = time.perf_counter()
         if isinstance(node, ScanNode):
-            columns = self._execute_scan(node, needed)
+            operator = Scan(node)
+            chunk = operator.execute(ctx)
         elif isinstance(node, JoinNode):
-            columns = self._execute_join(node, needed, cache)
+            if node.method is JoinMethod.INDEX_NL and isinstance(node.right, ScanNode):
+                operator = IndexNLJoin(node)
+                left = self._execute_node(node.left, ctx, cache)
+                chunk = operator.execute(ctx, left)
+            else:
+                left = self._execute_node(node.left, ctx, cache)
+                right = self._execute_node(node.right, ctx, cache)
+                operator = HashJoin(node) if node.predicates else CrossProduct(node)
+                chunk = operator.execute(ctx, left, right)
         else:
             raise ExecutionError(f"unsupported plan node {type(node).__name__}")
-        node.actual_rows = _num_rows(columns)
+
+        if ctx.eager:
+            chunk = compact(chunk, ctx.needed, ctx.stats)
+
+        node.actual_rows = chunk.num_rows
         node.actual_time = time.perf_counter() - start
+        ctx.operator_times[operator.label] = node.actual_time
         if cache is not None:
-            cache[id(node)] = columns
-        return columns
-
-    def _execute_scan(self, node: ScanNode,
-                      needed: set[ColumnRef]) -> dict[str, np.ndarray]:
-        relation = node.relation
-        table = self.database.table(relation.table_name)
-
-        def resolve(ref: ColumnRef) -> np.ndarray:
-            if relation.is_temp:
-                return table.column(ref.qualified)
-            return table.column(ref.column)
-
-        if node.filters:
-            mask = node.filters[0].evaluate(resolve)
-            for pred in node.filters[1:]:
-                mask = mask & pred.evaluate(resolve)
-            indices = np.nonzero(mask)[0]
-        else:
-            indices = None
-
-        wanted = [ref for ref in needed if relation.covers(ref.alias)]
-        columns: dict[str, np.ndarray] = {}
-        for ref in wanted:
-            data = resolve(ref)
-            columns[ref.qualified] = data if indices is None else data[indices]
-        if not columns:
-            # Nothing above needs this relation's columns (rare, e.g. pure
-            # existence joins); carry a synthetic row-id column so the row
-            # count is still represented.
-            count = table.num_rows if indices is None else len(indices)
-            columns[f"{relation.alias}.__rowid"] = np.arange(count, dtype=np.int64)
-        return columns
-
-    def _execute_join(self, node: JoinNode, needed: set[ColumnRef],
-                      cache: dict[int, dict[str, np.ndarray]] | None = None
-                      ) -> dict[str, np.ndarray]:
-        # Make sure the join keys themselves survive the children's projection.
-        child_needed = set(needed)
-        for pred in node.predicates:
-            child_needed.add(pred.left)
-            child_needed.add(pred.right)
-
-        left_columns = self._execute_node(node.left, child_needed, cache)
-
-        if node.method is JoinMethod.INDEX_NL and isinstance(node.right, ScanNode):
-            return self._execute_index_nl(node, left_columns, child_needed)
-
-        right_columns = self._execute_node(node.right, child_needed, cache)
-
-        if not node.predicates:
-            return self._cross_product(left_columns, right_columns)
-
-        left_keys, right_keys = [], []
-        left_aliases = node.left.covered_aliases()
-        for pred in node.predicates:
-            if pred.left.alias in left_aliases:
-                left_keys.append(left_columns[pred.left.qualified])
-                right_keys.append(right_columns[pred.right.qualified])
-            else:
-                left_keys.append(left_columns[pred.right.qualified])
-                right_keys.append(right_columns[pred.left.qualified])
-        left_idx, right_idx = multi_key_equi_join(left_keys, right_keys)
-        return _merge(left_columns, left_idx, right_columns, right_idx)
-
-    def _execute_index_nl(self, node: JoinNode, left_columns: dict[str, np.ndarray],
-                          needed: set[ColumnRef]) -> dict[str, np.ndarray]:
-        """Index nested-loop join: probe the inner base table's index."""
-        inner_scan: ScanNode = node.right  # type: ignore[assignment]
-        relation = inner_scan.relation
-        table = self.database.table(relation.table_name)
-        index_column = node.index_column
-        index = self.database.index(relation.table_name, index_column.column)
-        if index is None:
-            raise ExecutionError(
-                f"no index on {relation.table_name}.{index_column.column} "
-                f"for INDEX_NL join")
-
-        # The outer key is the other side of the predicate on the index column.
-        probe_pred = None
-        for pred in node.predicates:
-            if index_column in (pred.left, pred.right):
-                probe_pred = pred
-                break
-        if probe_pred is None:
-            raise ExecutionError("INDEX_NL join has no predicate on its index column")
-        outer_ref = probe_pred.other(index_column.alias)
-        outer_keys = left_columns[outer_ref.qualified]
-
-        probe_positions, inner_rows = index.lookup_batch(outer_keys)
-
-        def resolve(ref: ColumnRef) -> np.ndarray:
-            return table.column(ref.column)[inner_rows]
-
-        # Apply the inner relation's residual filters after the index probe.
-        mask = None
-        for pred in inner_scan.filters:
-            pred_mask = pred.evaluate(resolve)
-            mask = pred_mask if mask is None else (mask & pred_mask)
-        # Apply any additional join predicates between the two sides.
-        for pred in node.predicates:
-            if pred is probe_pred:
-                continue
-            inner_ref = (pred.left if relation.covers(pred.left.alias) else pred.right)
-            outer_side = pred.other(inner_ref.alias)
-            pred_mask = (table.column(inner_ref.column)[inner_rows]
-                         == left_columns[outer_side.qualified][probe_positions])
-            mask = pred_mask if mask is None else (mask & pred_mask)
-        if mask is not None:
-            probe_positions = probe_positions[mask]
-            inner_rows = inner_rows[mask]
-
-        inner_columns: dict[str, np.ndarray] = {}
-        for ref in needed:
-            if relation.covers(ref.alias):
-                inner_columns[ref.qualified] = table.column(ref.column)[inner_rows]
-        result = {name: arr[probe_positions] for name, arr in left_columns.items()}
-        result.update(inner_columns)
-        return result
-
-    @staticmethod
-    def _cross_product(left_columns: dict[str, np.ndarray],
-                       right_columns: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-        left_rows = _num_rows(left_columns)
-        right_rows = _num_rows(right_columns)
-        total = left_rows * right_rows
-        if total > MAX_CROSS_PRODUCT_ROWS:
-            raise ExecutionError(
-                f"cross product of {left_rows} x {right_rows} rows exceeds the "
-                f"executor's safety limit")
-        result = {name: np.repeat(arr, right_rows) for name, arr in left_columns.items()}
-        result.update(
-            {name: np.tile(arr, left_rows) for name, arr in right_columns.items()})
-        return result
+            cache[id(node)] = chunk
+        if signature is not None:
+            self.subplan_cache.put(signature, chunk)
+        return chunk
 
     # ------------------------------------------------------------------
     # Projection push-down support
@@ -267,10 +233,7 @@ class Executor:
                 needed.add(spec.column)
 
         def visit(node: PlanNode) -> None:
-            if isinstance(node, ScanNode):
-                for pred in node.filters:
-                    pass  # filter columns are resolved inside the scan itself
-            elif isinstance(node, JoinNode):
+            if isinstance(node, JoinNode):
                 for pred in node.predicates:
                     needed.add(pred.left)
                     needed.add(pred.right)
@@ -279,107 +242,3 @@ class Executor:
 
         visit(plan.root)
         return needed
-
-
-# ----------------------------------------------------------------------
-# Aggregation helpers (shared with the non-SPJ execution path)
-# ----------------------------------------------------------------------
-def _scalar_aggregate(columns: dict[str, np.ndarray],
-                      aggregates: tuple[AggregateSpec, ...]) -> DataTable:
-    """Apply scalar (ungrouped) aggregates to a result."""
-    rows = _num_rows(columns)
-    out: dict[str, np.ndarray] = {}
-    for spec in aggregates:
-        out[spec.output_name] = np.array([_aggregate_value(columns, spec, rows)],
-                                         dtype=object)
-    return DataTable(name="aggregate", columns=out)
-
-
-def group_aggregate(columns: dict[str, np.ndarray],
-                    group_by: tuple[ColumnRef, ...],
-                    aggregates: tuple[AggregateSpec, ...]) -> DataTable:
-    """GROUP BY aggregation over a joined result."""
-    rows = _num_rows(columns)
-    if not group_by:
-        return _scalar_aggregate(columns, aggregates)
-    key_arrays = [columns[ref.qualified] for ref in group_by]
-    # Build group ids via successive uniquification of the key columns.
-    group_ids = np.zeros(rows, dtype=np.int64)
-    for arr in key_arrays:
-        _, inverse = np.unique(arr, return_inverse=True)
-        group_ids = group_ids * (int(inverse.max()) + 1 if rows else 1) + inverse
-    uniq_ids, group_index, inverse = np.unique(group_ids, return_index=True,
-                                               return_inverse=True)
-    out: dict[str, np.ndarray] = {}
-    for ref in group_by:
-        out[ref.qualified] = columns[ref.qualified][group_index]
-    order = np.argsort(inverse, kind="stable")
-    boundaries = np.searchsorted(inverse[order], np.arange(len(uniq_ids)))
-    boundaries = np.append(boundaries, rows)
-    for spec in aggregates:
-        values = []
-        data = (columns[spec.column.qualified] if spec.column is not None else None)
-        for g in range(len(uniq_ids)):
-            member_rows = order[boundaries[g]:boundaries[g + 1]]
-            values.append(_aggregate_over(data, member_rows, spec))
-        out[spec.output_name] = np.array(values, dtype=object)
-    return DataTable(name="aggregate", columns=out)
-
-
-def union_all(tables: list[DataTable]) -> DataTable:
-    """UNION ALL of result tables with identical column sets."""
-    if not tables:
-        return DataTable(name="union", columns={})
-    names = tables[0].column_names
-    columns = {
-        name: np.concatenate([t.column(name) for t in tables]) for name in names
-    }
-    return DataTable(name="union", columns=columns)
-
-
-def _aggregate_value(columns: dict[str, np.ndarray], spec: AggregateSpec,
-                     rows: int):
-    if spec.func == "count" and spec.column is None:
-        return rows
-    data = columns[spec.column.qualified]
-    return _aggregate_over(data, np.arange(rows), spec)
-
-
-def _aggregate_over(data: np.ndarray | None, member_rows: np.ndarray,
-                    spec: AggregateSpec):
-    if spec.func == "count":
-        return int(len(member_rows))
-    if data is None or len(member_rows) == 0:
-        return None
-    values = data[member_rows]
-    if spec.func == "min":
-        return values.min()
-    if spec.func == "max":
-        return values.max()
-    if spec.func == "sum":
-        return values.sum()
-    return float(values.sum()) / len(values)
-
-
-# ----------------------------------------------------------------------
-# Small shared utilities
-# ----------------------------------------------------------------------
-def _num_rows(columns: dict[str, np.ndarray]) -> int:
-    if not columns:
-        return 0
-    return len(next(iter(columns.values())))
-
-
-def _merge(left_columns: dict[str, np.ndarray], left_idx: np.ndarray,
-           right_columns: dict[str, np.ndarray], right_idx: np.ndarray
-           ) -> dict[str, np.ndarray]:
-    result = {name: arr[left_idx] for name, arr in left_columns.items()}
-    for name, arr in right_columns.items():
-        if name not in result:
-            result[name] = arr[right_idx]
-    return result
-
-
-def _ref_from_qualified(name: str) -> ColumnRef:
-    alias, _, column = name.partition(".")
-    return ColumnRef(alias, column)

@@ -66,6 +66,11 @@ def multi_key_equi_join(left_keys: list[np.ndarray],
     return equi_join_indices(left_combined, right_combined)
 
 
+#: Largest composite code value combine_key_pair lets the running encoding
+#: reach before it re-compresses the codes (conservatively half of int64).
+_MAX_COMBINED_CODE = 2 ** 62
+
+
 def combine_key_pair(left_keys: list[np.ndarray],
                      right_keys: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     """Encode multi-column keys of both join sides into one shared code space.
@@ -73,6 +78,14 @@ def combine_key_pair(left_keys: list[np.ndarray],
     Both sides of every key column are uniquified *together*, so equal values
     on the two sides receive the same code and the composite codes are
     directly comparable.
+
+    The running ``code * span + inverse`` encoding can overflow int64 when
+    the per-column distinct-value counts multiply up (many key columns, or a
+    few very high-cardinality ones).  Whenever the next extension would
+    exceed the safe range, the combined codes of *both* sides are
+    re-uniquified into a dense range first -- equal composites stay equal, so
+    the join semantics are unchanged while the magnitude resets to at most
+    the number of distinct composites seen so far.
     """
     n_left = len(left_keys[0])
     left_combined = np.zeros(n_left, dtype=np.int64)
@@ -81,6 +94,16 @@ def combine_key_pair(left_keys: list[np.ndarray],
         merged = np.concatenate([left, right])
         _, inverse = np.unique(merged, return_inverse=True)
         span = int(inverse.max()) + 1 if len(inverse) else 1
+        current_max = 0
+        if len(left_combined):
+            current_max = max(current_max, int(left_combined.max()))
+        if len(right_combined):
+            current_max = max(current_max, int(right_combined.max()))
+        if current_max and span > _MAX_COMBINED_CODE // (current_max + 1):
+            both = np.concatenate([left_combined, right_combined])
+            _, dense = np.unique(both, return_inverse=True)
+            left_combined = dense[:n_left].astype(np.int64)
+            right_combined = dense[n_left:].astype(np.int64)
         left_combined = left_combined * span + inverse[:n_left]
         right_combined = right_combined * span + inverse[n_left:]
     return left_combined, right_combined

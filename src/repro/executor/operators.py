@@ -1,0 +1,220 @@
+"""The physical operator pipeline.
+
+Each class evaluates one :class:`~repro.plan.physical.PlanNode` kind over
+late-materialized :class:`~repro.executor.chunk.Chunk` inputs:
+
+* :class:`Scan`        -- filtered scan producing a row-id selection vector;
+* :class:`HashJoin`    -- equi-join on gathered key columns (also evaluates
+  MERGE and predicate-carrying NL nodes: the sort/searchsorted kernel in
+  :mod:`repro.executor.joins` serves all of them);
+* :class:`IndexNLJoin` -- index nested-loop join probing a sorted index;
+* :class:`CrossProduct`-- predicate-less join (guarded Cartesian product);
+* :class:`Aggregate`   -- plan-root aggregation, the point where real
+  columns are finally materialized.
+
+Operators never copy payload columns between them -- they pass chunks whose
+sources are row-id vectors into the stored tables.  The
+:class:`~repro.executor.executor.Executor` walks the plan, invokes the
+matching operator per node, and handles caching/timing around them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.executor.aggregates import _scalar_aggregate, group_aggregate
+from repro.executor.chunk import (
+    Chunk,
+    MaterializationStats,
+    TableSource,
+    merge_chunks,
+)
+from repro.executor.joins import multi_key_equi_join
+from repro.plan.expressions import ColumnRef
+from repro.plan.physical import JoinNode, PhysicalPlan, PlanNode, ScanNode
+from repro.storage.database import Database
+from repro.storage.table import DataTable
+
+#: Guard against accidental cross-product explosions in the executor.
+MAX_CROSS_PRODUCT_ROWS = 50_000_000
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a plan cannot be executed (e.g. a runaway cross product)."""
+
+
+@dataclass
+class ExecContext:
+    """Per-execution state threaded through the operator pipeline."""
+
+    database: Database
+    stats: MaterializationStats
+    #: Every column the plan (outputs, join keys, extras) may ever gather.
+    needed: frozenset[ColumnRef]
+    #: Eager compatibility mode: materialize needed columns at every operator
+    #: (the pre-chunk behaviour, kept for the materialization benchmark).
+    eager: bool = False
+    operator_times: dict[str, float] = field(default_factory=dict)
+
+
+class Operator:
+    """Base class: one physical operator bound to its plan node."""
+
+    name = "Operator"
+
+    def __init__(self, node: PlanNode):
+        self.node = node
+
+    @property
+    def label(self) -> str:
+        """Stable display label (operator kind + covered aliases)."""
+        return f"{self.name}[{'+'.join(sorted(self.node.covered_aliases()))}]"
+
+
+class Scan(Operator):
+    """Sequential scan with pushed-down filters -> row-id selection vector."""
+
+    name = "Scan"
+
+    def execute(self, ctx: ExecContext) -> Chunk:
+        node: ScanNode = self.node  # type: ignore[assignment]
+        relation = node.relation
+        table = ctx.database.table(relation.table_name)
+
+        def resolve(ref: ColumnRef) -> np.ndarray:
+            if relation.is_temp:
+                return table.column(ref.qualified)
+            return table.column(ref.column)
+
+        if node.filters:
+            mask = node.filters[0].evaluate(resolve)
+            for pred in node.filters[1:]:
+                mask = mask & pred.evaluate(resolve)
+            row_ids = np.nonzero(mask)[0]
+        else:
+            row_ids = None  # identity selection: no vector materialized
+        return Chunk((TableSource(relation, table, row_ids),))
+
+
+class HashJoin(Operator):
+    """Equi-join: gather the key columns, match, merge the row-id vectors."""
+
+    name = "HashJoin"
+
+    def execute(self, ctx: ExecContext, left: Chunk, right: Chunk) -> Chunk:
+        node: JoinNode = self.node  # type: ignore[assignment]
+        left_aliases = node.left.covered_aliases()
+        left_keys, right_keys = [], []
+        for pred in node.predicates:
+            if pred.left.alias in left_aliases:
+                left_ref, right_ref = pred.left, pred.right
+            else:
+                left_ref, right_ref = pred.right, pred.left
+            left_keys.append(left.column(left_ref, ctx.stats))
+            right_keys.append(right.column(right_ref, ctx.stats))
+        left_idx, right_idx = multi_key_equi_join(left_keys, right_keys)
+        return merge_chunks(left, left_idx, right, right_idx, ctx.stats)
+
+
+class IndexNLJoin(Operator):
+    """Index nested-loop join: probe the inner base table's sorted index."""
+
+    name = "IndexNLJoin"
+
+    def execute(self, ctx: ExecContext, left: Chunk) -> Chunk:
+        node: JoinNode = self.node  # type: ignore[assignment]
+        inner_scan: ScanNode = node.right  # type: ignore[assignment]
+        relation = inner_scan.relation
+        table = ctx.database.table(relation.table_name)
+        index_column = node.index_column
+        index = ctx.database.index(relation.table_name, index_column.column)
+        if index is None:
+            raise ExecutionError(
+                f"no index on {relation.table_name}.{index_column.column} "
+                f"for INDEX_NL join")
+
+        # The outer key is the other side of the predicate on the index column.
+        probe_pred = None
+        for pred in node.predicates:
+            if index_column in (pred.left, pred.right):
+                probe_pred = pred
+                break
+        if probe_pred is None:
+            raise ExecutionError("INDEX_NL join has no predicate on its index column")
+        outer_ref = probe_pred.other(index_column.alias)
+        outer_keys = left.column(outer_ref, ctx.stats)
+
+        probe_positions, inner_rows = index.lookup_batch(outer_keys)
+
+        def resolve(ref: ColumnRef) -> np.ndarray:
+            return table.gather(ref.column, inner_rows)
+
+        # Apply the inner relation's residual filters after the index probe.
+        mask = None
+        for pred in inner_scan.filters:
+            pred_mask = pred.evaluate(resolve)
+            mask = pred_mask if mask is None else (mask & pred_mask)
+        # Apply any additional join predicates between the two sides.
+        for pred in node.predicates:
+            if pred is probe_pred:
+                continue
+            inner_ref = (pred.left if relation.covers(pred.left.alias) else pred.right)
+            outer_side = pred.other(inner_ref.alias)
+            pred_mask = (table.gather(inner_ref.column, inner_rows)
+                         == left.column(outer_side, ctx.stats)[probe_positions])
+            mask = pred_mask if mask is None else (mask & pred_mask)
+        if mask is not None:
+            probe_positions = probe_positions[mask]
+            inner_rows = inner_rows[mask]
+
+        sources = tuple(source.take(probe_positions, ctx.stats)
+                        for source in left.sources)
+        sources += (TableSource(relation, table, inner_rows),)
+        return Chunk(sources, len(probe_positions))
+
+
+class CrossProduct(Operator):
+    """Predicate-less join: guarded Cartesian product of two chunks."""
+
+    name = "CrossProduct"
+
+    def execute(self, ctx: ExecContext, left: Chunk, right: Chunk) -> Chunk:
+        total = left.num_rows * right.num_rows
+        if total > MAX_CROSS_PRODUCT_ROWS:
+            raise ExecutionError(
+                f"cross product of {left.num_rows} x {right.num_rows} rows "
+                f"exceeds the executor's safety limit")
+        left_idx = np.repeat(np.arange(left.num_rows, dtype=np.int64),
+                             right.num_rows)
+        right_idx = np.tile(np.arange(right.num_rows, dtype=np.int64),
+                            left.num_rows)
+        return merge_chunks(left, left_idx, right, right_idx, ctx.stats)
+
+
+class Aggregate:
+    """Plan-root aggregation: the single full materialization point."""
+
+    name = "Aggregate"
+    label = "Aggregate"
+
+    def __init__(self, plan: PhysicalPlan):
+        self.plan = plan
+
+    def execute(self, ctx: ExecContext, chunk: Chunk) -> DataTable:
+        plan = self.plan
+        refs = tuple(dict.fromkeys(
+            tuple(plan.group_by)
+            + tuple(spec.column for spec in plan.aggregates
+                    if spec.column is not None)))
+        start = time.perf_counter()
+        columns = chunk.materialize(refs, ctx.stats)
+        if plan.group_by:
+            table = group_aggregate(columns, plan.group_by, plan.aggregates)
+        else:
+            table = _scalar_aggregate(columns, plan.aggregates,
+                                      num_rows=chunk.num_rows)
+        ctx.operator_times[self.label] = time.perf_counter() - start
+        return table

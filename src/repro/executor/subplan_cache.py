@@ -1,0 +1,205 @@
+"""Engine-level cross-policy subplan cache.
+
+Every physical subtree that joins the same set of filtered relations with
+the same join predicates produces the same multiset of rows, *regardless of
+join order or physical operator choice*.  Because the late-materialization
+executor represents intermediate results as row-id chunks (no payload
+columns), a cached subtree result is also column-agnostic: any consumer can
+gather whatever columns it needs from the cached row ids.
+
+The :class:`SubplanCache` exploits both properties.  It is keyed by the
+canonical subtree signature (see :meth:`repro.plan.physical.PlanNode.signature`):
+
+``(frozenset of (table, alias, is_temp, filters) per scan,
+   frozenset of join predicates)``
+
+so QuerySplit, the plan-driven re-optimization baselines, and the
+true-cardinality oracle all hit the same entries when they (re-)compute an
+identical subtree -- even when their optimizers picked different join
+orders.  The cache is *opt-in*: an :class:`~repro.executor.executor.Executor`
+only consults it when one is passed at construction, and a workload driver
+shares one instance across every policy/algorithm it runs.
+
+Keying rules (see ARCHITECTURE.md for the full discussion):
+
+* subtrees touching **temporary tables are never cached** -- temp names are
+  recycled between queries, so their signatures are not stable;
+* entries larger than ``max_rows`` are not cached (memory bound);
+* entries are evicted LRU beyond ``max_entries``.
+
+A cache instance is bound to one loaded :class:`~repro.storage.database.Database`
+(signatures name tables, not data): never share one across differently loaded
+databases.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.executor.chunk import Chunk
+from repro.plan.expressions import JoinPredicate, Predicate
+from repro.plan.logical import RelationRef
+from repro.plan.physical import scan_signature  # noqa: F401  (re-exported)
+
+#: Signature type: (frozenset of scan tuples, frozenset of join predicates).
+Signature = tuple[frozenset, frozenset]
+
+
+def subplan_signature(relations: Iterable[RelationRef],
+                      filters: Iterable[Predicate],
+                      join_predicates: Iterable[JoinPredicate]) -> Signature:
+    """Canonical signature of a sub-join described logically.
+
+    This mirrors :meth:`repro.plan.physical.PlanNode.signature` for callers
+    (like the true-cardinality oracle) that reason about relation subsets
+    rather than physical plan subtrees: each relation receives the filters it
+    fully answers, and only join predicates internal to the subset are kept.
+    """
+    relations = tuple(relations)
+    filters = tuple(filters)
+    covered: set[str] = set()
+    for relation in relations:
+        covered.update(relation.covered_aliases)
+    scans = frozenset(
+        scan_signature(relation, tuple(
+            pred for pred in filters
+            if pred.aliases() <= relation.covered_aliases))
+        for relation in relations)
+    preds = frozenset(pred for pred in join_predicates
+                      if all(alias in covered for alias in pred.aliases()))
+    return (scans, preds)
+
+
+def _touches_temp(signature: Signature) -> bool:
+    return any(scan[3] for scan in signature[0])
+
+
+class SubplanCache:
+    """LRU cache of executed subtree results keyed by canonical signature.
+
+    Memory is bounded three ways: per-entry rows (``max_rows``), entry count
+    (``max_entries``), and *total retained bytes* across all entries
+    (``max_bytes``) -- a chunk costs roughly 8 bytes per row per source
+    relation, so a handful of wide 2M-row subtrees would otherwise dwarf the
+    entry-count bound.
+    """
+
+    def __init__(self, max_entries: int = 256, max_rows: int = 2_000_000,
+                 max_bytes: int = 512 * 2 ** 20):
+        self.max_entries = max_entries
+        self.max_rows = max_rows
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[Signature, Chunk] = OrderedDict()
+        self._entry_bytes: dict[Signature, int] = {}
+        self._database = None
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+
+    def bind(self, database) -> None:
+        """Bind this cache to one loaded database; reject any other.
+
+        Signatures name tables, not data, so a cache reused against a
+        *different* database instance would silently serve the old
+        database's rows.  Every consumer (executor, oracle) binds on
+        construction, turning that misuse into a loud error.
+        """
+        if self._database is None:
+            self._database = database
+        elif self._database is not database:
+            raise ValueError(
+                "SubplanCache is already bound to a different Database "
+                "instance; use one cache per loaded database (or clear() a "
+                "cache before reusing it, after rebuilding its consumers)")
+
+    @staticmethod
+    def _chunk_bytes(chunk: Chunk) -> int:
+        """Retained size: the row-id vectors kept alive beyond the tables."""
+        if not chunk.sources:
+            return chunk.num_rows * 8
+        return sum(source.retained_bytes for source in chunk.sources)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, signature: Signature) -> Chunk | None:
+        """Cached chunk for ``signature``, or None."""
+        try:
+            chunk = self._entries.get(signature)
+        except TypeError:  # unhashable literal somewhere in a predicate
+            return None
+        if chunk is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(signature)
+        self.hits += 1
+        return chunk
+
+    def put(self, signature: Signature, chunk: Chunk) -> None:
+        """Store a subtree result unless the keying rules forbid it."""
+        cost = self._chunk_bytes(chunk)
+        if (chunk.num_rows > self.max_rows or cost > self.max_bytes
+                or _touches_temp(signature)):
+            self.rejected += 1
+            return
+        try:
+            previous = self._entries.get(signature)
+            self._entries[signature] = chunk
+        except TypeError:
+            self.rejected += 1
+            return
+        if previous is not None:
+            self.total_bytes -= self._entry_bytes[signature]
+        self._entry_bytes[signature] = cost
+        self.total_bytes += cost
+        self._entries.move_to_end(signature)
+        while (len(self._entries) > self.max_entries
+               or self.total_bytes > self.max_bytes):
+            evicted_sig, _chunk = self._entries.popitem(last=False)
+            self.total_bytes -= self._entry_bytes.pop(evicted_sig)
+
+    def peek(self, signature: Signature) -> Chunk | None:
+        """Non-mutating lookup: no hit/miss counters, no LRU promotion.
+
+        Used by read-only consumers (the true-cardinality oracle issues one
+        probe per DP subset), so speculative probes neither distort the
+        executor-reuse hit rate nor evict entries the executor would reuse.
+        """
+        try:
+            return self._entries.get(signature)
+        except TypeError:
+            return None
+
+    def lookup_rows(self, signature: Signature) -> int | None:
+        """Exact row count of a cached subtree (for cardinality probes)."""
+        chunk = self.peek(signature)
+        return None if chunk is None else chunk.num_rows
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry, reset the counters, and unbind the database."""
+        self._entries.clear()
+        self._entry_bytes.clear()
+        self._database = None
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+
+    def __repr__(self) -> str:
+        return (f"SubplanCache(entries={len(self._entries)}, "
+                f"bytes={self.total_bytes}, hits={self.hits}, "
+                f"misses={self.misses}, rejected={self.rejected})")

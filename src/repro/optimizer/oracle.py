@@ -57,10 +57,20 @@ class _Component:
 
 
 class TrueCardinalityOracle:
-    """Computes exact output cardinalities of sub-joins by executing them."""
+    """Computes exact output cardinalities of sub-joins by executing them.
 
-    def __init__(self, database: Database):
+    When given an engine-level
+    :class:`~repro.executor.subplan_cache.SubplanCache`, the oracle first
+    checks whether the executor already produced the requested sub-join
+    somewhere (any join order, any policy): a cached chunk's row count *is*
+    the true cardinality, so the probe costs nothing.
+    """
+
+    def __init__(self, database: Database, subplan_cache=None):
         self.database = database
+        self.subplan_cache = subplan_cache
+        if subplan_cache is not None:
+            subplan_cache.bind(database)
         self._count_cache: dict[tuple[str, frozenset[str]], float] = {}
         self._mat_cache: dict[tuple[str, frozenset[str]], _Component] = {}
         #: All join predicates ever seen per query; used to over-approximate
@@ -68,6 +78,7 @@ class TrueCardinalityOracle:
         #: can be built incrementally from smaller cached ones.
         self._known_preds: dict[str, set[JoinPredicate]] = {}
         self.executions = 0
+        self.subplan_hits = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -82,13 +93,37 @@ class TrueCardinalityOracle:
         if cached is not None:
             return cached
         self._known_preds.setdefault(query_name, set()).update(join_predicates)
+        if self.subplan_cache is not None and relations:
+            from repro.executor.subplan_cache import subplan_signature
+
+            try:
+                signature = subplan_signature(relations, filters, join_predicates)
+            except TypeError:  # unhashable filter literal: no probe possible
+                signature = None
+            rows = (self.subplan_cache.lookup_rows(signature)
+                    if signature is not None else None)
+            if rows is not None:
+                # Answering from the executor's cache skips the oracle's own
+                # materialization, so _mat_cache gets no component for this
+                # subset; a later superset probe that misses the subplan
+                # cache falls back to a full greedy join instead of a
+                # one-join extension.  Supersets of executed subtrees are
+                # normally in the subplan cache too (the executor stores
+                # every node bottom-up), so the trade is worth it.
+                self.subplan_hits += 1
+                result = max(float(max(rows, 0)), MIN_ROWS)
+                self._count_cache[key] = result
+                return result
         component = (self._extend_cached(relations, filters, join_predicates, query_name)
                      or self._execute(relations, filters, join_predicates, query_name))
         rows = float(max(component.num_rows, 0))
-        self._count_cache[key] = rows
+        # Cache exactly what is returned, so repeat probes of the same
+        # subset never flip between clamped and unclamped values.
+        result = max(rows, MIN_ROWS) if relations else rows
+        self._count_cache[key] = result
         if component.sample_rows <= MATERIALIZE_CACHE_CAP and component.columns:
             self._mat_cache[key] = component
-        return max(rows, MIN_ROWS) if relations else rows
+        return result
 
     def reset(self) -> None:
         """Drop all cached results (call between queries to bound memory)."""

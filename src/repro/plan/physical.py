@@ -36,6 +36,20 @@ class JoinMethod(enum.Enum):
     MERGE = "merge"
 
 
+def scan_signature(relation: RelationRef,
+                   filters: tuple[Predicate, ...]) -> tuple:
+    """Canonical signature of one filtered scan.
+
+    The single definition of the scan-key encoding used by
+    :meth:`PlanNode.signature` and by the executor's subplan cache
+    (including its logical-subset variant for oracle probes) -- the two
+    sides must build byte-identical keys or every cross-policy lookup
+    silently misses.
+    """
+    return ("scan", relation.table_name, relation.alias, relation.is_temp,
+            frozenset(filters))
+
+
 @dataclass
 class PlanNode:
     """Base class for physical plan nodes."""
@@ -77,6 +91,29 @@ class PlanNode:
 
         visit(self)
         return tuple(joins)
+
+    def signature(self) -> tuple[frozenset, frozenset]:
+        """Canonical logical signature of this subtree's result.
+
+        Two subtrees with equal signatures produce the same multiset of rows:
+        the signature records *what* is computed (filtered scans + applied
+        join predicates) and deliberately ignores *how* (join order, physical
+        join method, index choice).  The engine-level
+        :class:`~repro.executor.subplan_cache.SubplanCache` keys on it, which
+        is what lets different re-optimization policies share each other's
+        executed subtrees.
+        """
+        scans: list[tuple] = []
+        preds: list = []
+        stack: list[PlanNode] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ScanNode):
+                scans.append(scan_signature(node.relation, node.filters))
+            elif isinstance(node, JoinNode):
+                preds.extend(node.predicates)
+                stack.extend(node.children())
+        return (frozenset(scans), frozenset(preds))
 
 
 @dataclass

@@ -18,6 +18,16 @@ triggers a re-plan:
 
 Subclasses provide the policy through :meth:`materialization_points`,
 :attr:`always_materialize` and :attr:`trigger_threshold`.
+
+Incremental execution relies on two layers of caching in the executor: the
+per-plan ``cache`` dict below (``id(node)`` -> executed
+:class:`~repro.executor.chunk.Chunk`) keeps already-executed subtrees of the
+*current* plan from re-running, and -- when the shared executor was built
+with an engine-level
+:class:`~repro.executor.subplan_cache.SubplanCache` -- equivalent subtrees
+are also reused across re-plans, queries, and whole policies by canonical
+signature (a re-planned remaining query usually re-joins the same filtered
+base relations, just in a different order).
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from dataclasses import dataclass
 from repro.catalog.analyze import analyze_columns
 from repro.catalog.statistics import TableStats
 from repro.core.nonspj import execute_query_tree
+from repro.executor.chunk import Chunk
 from repro.executor.executor import ExecutionError, Executor
 from repro.executor.joins import JoinOverflowError
 from repro.optimizer.optimizer import Optimizer
@@ -160,7 +171,7 @@ class ReoptimizerBase(AlgorithmBase):
     def _run_spj(self, spj: SPJQuery, report: ExecutionReport) -> DataTable:
         remaining = spj
         current_plan: PhysicalPlan | None = None
-        cache: dict[int, dict] = {}
+        cache: dict[int, Chunk] = {}
         consumed_points: set[int] = set()
 
         while True:
@@ -242,7 +253,7 @@ class ReoptimizerBase(AlgorithmBase):
         return None
 
     def _finish(self, remaining: SPJQuery, plan: PhysicalPlan,
-                cache: dict[int, dict], report: ExecutionReport) -> DataTable:
+                cache: dict[int, Chunk], report: ExecutionReport) -> DataTable:
         result = self.executor.execute(plan, cache=cache)
         report.total_time += result.wall_time
         report.iterations.append(IterationRecord(

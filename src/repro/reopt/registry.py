@@ -12,7 +12,9 @@ from __future__ import annotations
 from repro.core.qsa import QSAStrategy
 from repro.core.splitter import QuerySplitConfig, QuerySplitExecutor
 from repro.core.ssa import CostFunction
+from repro.executor.executor import Executor
 from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.oracle import TrueCardinalityOracle
 from repro.reopt.base import BaselineConfig
 from repro.reopt.default import DefaultBaseline, OptimalBaseline
 from repro.reopt.ief import IEFBaseline
@@ -43,7 +45,8 @@ def make_algorithm(name: str, database: Database,
                    timeout_seconds: float | None = None,
                    qsa_strategy: QSAStrategy = QSAStrategy.FK_CENTER,
                    cost_function: CostFunction = CostFunction.PHI4,
-                   estimator=None):
+                   estimator=None,
+                   subplan_cache=None):
     """Instantiate the algorithm called ``name`` over ``database``.
 
     Parameters
@@ -61,10 +64,18 @@ def make_algorithm(name: str, database: Database,
     estimator:
         Optional cardinality estimator override for the driving optimizer
         (used by the robustness study of Figure 10).
+    subplan_cache:
+        Optional engine-level
+        :class:`~repro.executor.subplan_cache.SubplanCache` shared across
+        algorithms: the executor stores/reuses executed subtrees by
+        canonical signature, and the true-cardinality oracle answers probes
+        from it.  Leave ``None`` (the default) to keep every algorithm's
+        execution fully independent.
     """
     optimizer = Optimizer(database)
     if estimator is not None:
         optimizer = optimizer.with_estimator(estimator)
+    executor = Executor(database, subplan_cache=subplan_cache)
     baseline_config = BaselineConfig(collect_statistics=collect_statistics,
                                      timeout_seconds=timeout_seconds)
 
@@ -75,28 +86,40 @@ def make_algorithm(name: str, database: Database,
             collect_statistics=collect_statistics,
             timeout_seconds=timeout_seconds,
         )
-        return QuerySplitExecutor(database, optimizer, config=config)
+        return QuerySplitExecutor(database, optimizer, executor=executor,
+                                  config=config)
     if name == "Default":
-        return DefaultBaseline(database, optimizer, config=baseline_config)
+        return DefaultBaseline(database, optimizer, executor=executor,
+                               config=baseline_config)
     if name == "Optimal":
-        return OptimalBaseline(database, optimizer, config=baseline_config)
+        oracle = TrueCardinalityOracle(database, subplan_cache=subplan_cache)
+        return OptimalBaseline(database, optimizer, executor=executor,
+                               config=baseline_config, oracle=oracle)
     if name == "Reopt":
-        return ReoptBaseline(database, optimizer, config=baseline_config)
+        return ReoptBaseline(database, optimizer, executor=executor,
+                             config=baseline_config)
     if name == "Pop":
-        return PopBaseline(database, optimizer, config=baseline_config)
+        return PopBaseline(database, optimizer, executor=executor,
+                           config=baseline_config)
     if name == "IEF":
-        return IEFBaseline(database, optimizer, config=baseline_config)
+        return IEFBaseline(database, optimizer, executor=executor,
+                           config=baseline_config)
     if name == "Perron19":
-        return Perron19Baseline(database, optimizer, config=baseline_config)
+        return Perron19Baseline(database, optimizer, executor=executor,
+                                config=baseline_config)
     if name == "USE":
-        return USEBaseline(database, config=baseline_config)
+        return USEBaseline(database, executor=executor, config=baseline_config)
     if name == "Pessi.":
-        return PessimisticBaseline(database, optimizer, config=baseline_config)
+        return PessimisticBaseline(database, optimizer, executor=executor,
+                                   config=baseline_config)
     if name == "FS":
-        return FSBaseline(database, config=baseline_config)
+        return FSBaseline(database, executor=executor, config=baseline_config)
     if name == "OptRange":
-        return OptRangeBaseline(database, optimizer, config=baseline_config)
+        return OptRangeBaseline(database, optimizer, executor=executor,
+                                config=baseline_config)
     if name in ("NeuroCard", "DeepDB", "MSCN"):
+        oracle = TrueCardinalityOracle(database, subplan_cache=subplan_cache)
         return LearnedCEBaseline(database, model=name.lower(),
-                                 optimizer=optimizer, config=baseline_config)
+                                 optimizer=optimizer, executor=executor,
+                                 config=baseline_config, oracle=oracle)
     raise ValueError(f"unknown algorithm {name!r}; known: {ALGORITHM_NAMES}")

@@ -61,6 +61,15 @@ class DataTable:
         """True if the table has a column called ``name``."""
         return name in self.columns
 
+    def gather(self, name: str, row_ids: np.ndarray) -> np.ndarray:
+        """Materialize column ``name`` at the given row ids.
+
+        This is the single point where the late-materialization executor
+        turns a selection vector back into real column data; chunks call it
+        exactly once per (column, plan-root) instead of once per operator.
+        """
+        return self.column(name)[row_ids]
+
     # ------------------------------------------------------------------
     # Row-level operations (vectorized)
     # ------------------------------------------------------------------

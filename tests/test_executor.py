@@ -6,10 +6,12 @@ import pytest
 from repro.executor.executor import ExecutionError, Executor, group_aggregate, union_all
 from repro.executor.joins import (
     JoinOverflowError,
+    combine_key_pair,
     equi_join_indices,
     join_result_size,
     multi_key_equi_join,
 )
+from repro.executor.subplan_cache import SubplanCache, subplan_signature
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.oracle import OracleCardinalityEstimator
 from repro.plan.expressions import ColumnRef, Comparison, JoinPredicate
@@ -67,6 +69,40 @@ class TestJoinPrimitives:
         right = np.zeros(10_000, dtype=np.int64)
         with pytest.raises(JoinOverflowError):
             equi_join_indices(left, right)
+
+    def test_combine_key_pair_survives_span_overflow(self):
+        """Many high-cardinality key columns must not overflow the encoding.
+
+        40 columns with ~100 distinct values each give a naive span product
+        of 100**40 -- far past int64 -- so this exercises the re-uniquify
+        fallback.  Row 0 matches right row 0 on every column; the decoy rows
+        differ in at least one column and must not match.
+        """
+        rng = np.random.default_rng(7)
+        n_cols = 40
+        left_keys = [rng.integers(0, 100, 50) for _ in range(n_cols)]
+        right_keys = [np.concatenate(([left_keys[i][0]], rng.integers(100, 200, 30)))
+                      for i in range(n_cols)]
+        li, ri = multi_key_equi_join(left_keys, right_keys)
+        pairs = set(zip(li.tolist(), ri.tolist()))
+        expected = {
+            (i, j)
+            for i in range(50) for j in range(31)
+            if all(left_keys[c][i] == right_keys[c][j] for c in range(n_cols))
+        }
+        assert (0, 0) in expected
+        assert pairs == expected
+
+    def test_combine_key_pair_codes_stay_in_range(self):
+        left_keys = [np.arange(1000, dtype=np.int64) * (k + 1) + k
+                     for k in range(30)]
+        right_keys = [arr.copy() for arr in left_keys]
+        lc, rc = combine_key_pair(left_keys, right_keys)
+        assert lc.dtype == np.int64 and rc.dtype == np.int64
+        assert lc.min() >= 0 and rc.min() >= 0
+        # Every row matches exactly its own counterpart.
+        assert np.array_equal(lc, rc)
+        assert len(np.unique(lc)) == 1000
 
 
 @pytest.fixture()
@@ -213,6 +249,212 @@ class TestExecutor:
         b = executor.execute(optimizer.plan(spj)).table.to_rows()
         assert a == b
 
+    def test_index_nl_residual_filter(self, tiny_db, executor):
+        """INDEX_NL applies the inner scan's filters *after* the index probe."""
+        from repro.plan.physical import JoinNode, PhysicalPlan, ScanNode
+
+        year_filter = Comparison(ColumnRef("t", "year"), ">", 2000)
+        predicate = JoinPredicate(ColumnRef("mk", "movie_id"), ColumnRef("t", "id"))
+        outputs = (ColumnRef("mk", "id"), ColumnRef("t", "year"))
+
+        def build(method):
+            outer = ScanNode(relation=RelationRef.base("mk", "mk"))
+            inner = ScanNode(relation=RelationRef.base("t", "t"),
+                             filters=(year_filter,))
+            join = JoinNode(left=outer, right=inner, predicates=(predicate,),
+                            method=method,
+                            index_column=(ColumnRef("t", "id")
+                                          if method is JoinMethod.INDEX_NL
+                                          else None))
+            return PhysicalPlan(query_name="residual", root=join,
+                                output_columns=outputs)
+
+        via_index = executor.execute(build(JoinMethod.INDEX_NL))
+        via_hash = executor.execute(build(JoinMethod.HASH))
+        assert via_index.join_rows == via_hash.join_rows > 0
+        assert (sorted(via_index.table.to_rows())
+                == sorted(via_hash.table.to_rows()))
+        # The residual filter actually removed probe results.
+        assert all(row[1] > 2000 for row in via_index.table.to_rows())
+
+    def test_index_nl_missing_index_rejected(self, tiny_db, executor):
+        """An INDEX_NL join on an unindexed column is an execution error."""
+        from repro.plan.physical import JoinNode, PhysicalPlan, ScanNode
+
+        outer = ScanNode(relation=RelationRef.base("mk", "mk"))
+        inner = ScanNode(relation=RelationRef.base("t", "t"))
+        join = JoinNode(
+            left=outer, right=inner,
+            predicates=(JoinPredicate(ColumnRef("mk", "movie_id"),
+                                      ColumnRef("t", "year")),),
+            method=JoinMethod.INDEX_NL, index_column=ColumnRef("t", "year"))
+        plan = PhysicalPlan(query_name="no-index", root=join)
+        with pytest.raises(ExecutionError):
+            executor.execute(plan)
+
+    def test_operator_times_populated(self, executor, optimizer):
+        plan = optimizer.plan(five_way_query())
+        result = executor.execute(plan)
+        joins = plan.join_nodes()
+        # At least one entry per join plus the root aggregation (INDEX_NL
+        # joins absorb their inner scan, so the scan count varies by plan).
+        assert len(result.operator_times) > len(joins)
+        assert "Aggregate" in result.operator_times
+        for join in joins:
+            label_aliases = "+".join(sorted(join.covered_aliases()))
+            matching = [label for label in result.operator_times
+                        if label.endswith(f"[{label_aliases}]")]
+            assert matching, f"no operator time recorded for {label_aliases}"
+            assert result.operator_times[matching[0]] == join.actual_time
+        assert result.materialized_bytes > 0
+
+
+class TestSubplanCache:
+    def test_subtree_shared_across_join_orders(self, tiny_db):
+        """Two optimizers picking different physical plans share subtrees."""
+        from repro.optimizer.join_enum import EnumeratorConfig
+        from repro.optimizer.optimizer import OptimizerConfig
+
+        cache = SubplanCache()
+        executor = Executor(tiny_db, subplan_cache=cache)
+        spj = five_way_query()
+        default_plan = Optimizer(tiny_db).plan(spj)
+        hash_plan = Optimizer(tiny_db, config=OptimizerConfig(
+            enumerator=EnumeratorConfig(enable_index_nl=False,
+                                        enable_merge=False))).plan(spj)
+        a = executor.execute(default_plan).table.to_rows()
+        assert cache.hits == 0 and len(cache) > 0
+        b = executor.execute(hash_plan).table.to_rows()
+        assert a == b
+        # At minimum every filtered scan signature recurs across the plans.
+        assert cache.hits > 0
+
+    def test_full_plan_rerun_is_one_hit(self, tiny_db, optimizer):
+        cache = SubplanCache()
+        executor = Executor(tiny_db, subplan_cache=cache)
+        spj = five_way_query()
+        first = executor.execute(optimizer.plan(spj)).table.to_rows()
+        hits_before = cache.hits
+        replan = optimizer.plan(spj)
+        second = executor.execute(replan).table.to_rows()
+        assert first == second
+        # The re-planned root has the same signature: served entirely from
+        # the cache (the root hit short-circuits the whole subtree).
+        assert cache.hits == hits_before + 1
+        assert replan.root.actual_rows is not None
+
+    def test_temp_subtrees_not_cached(self, tiny_db, optimizer):
+        from repro.catalog.analyze import analyze_columns
+
+        cache = SubplanCache()
+        executor = Executor(tiny_db, subplan_cache=cache)
+        sub = SPJQuery(name="sub",
+                       relations=(RelationRef.base("t", "t"),
+                                  RelationRef.base("mk", "mk")),
+                       join_predicates=(JoinPredicate(ColumnRef("mk", "movie_id"),
+                                                      ColumnRef("t", "id")),))
+        result = executor.execute(optimizer.plan(sub),
+                                  extra_columns=(ColumnRef("mk", "keyword_id"),))
+        stats = analyze_columns(dict(result.table.columns))
+        temp_name = tiny_db.register_temp(result.table, stats,
+                                          frozenset({"t", "mk"}))
+        temp_ref = RelationRef.temp(temp_name, frozenset({"t", "mk"}))
+        over_temp = SPJQuery(
+            name="over-temp",
+            relations=(temp_ref, RelationRef.base("k", "k")),
+            join_predicates=(JoinPredicate(ColumnRef("mk", "keyword_id"),
+                                           ColumnRef("k", "id")),),
+            aggregates=(AggregateSpec("count", None, "cnt"),),
+        )
+        rejected_before = cache.rejected
+        executor.execute(optimizer.plan(over_temp))
+        tiny_db.drop_temp_tables()
+        assert cache.rejected > rejected_before
+        for (scans, _preds) in list(cache._entries):
+            assert not any(scan[3] for scan in scans), "temp subtree was cached"
+
+    def test_signature_matches_logical_description(self, tiny_db, optimizer):
+        """A plan subtree's signature equals the logical subplan signature."""
+        spj = five_way_query()
+        plan = optimizer.plan(spj)
+        assert plan.root.signature() == subplan_signature(
+            spj.relations, spj.filters, spj.join_predicates)
+
+    def test_lru_eviction(self):
+        from repro.executor.chunk import Chunk
+
+        cache = SubplanCache(max_entries=2)
+        chunks = Chunk((), 0)
+        for i in range(4):
+            sig = (frozenset({("scan", f"t{i}", f"t{i}", False, frozenset())}),
+                   frozenset())
+            cache.put(sig, chunks)
+        assert len(cache) == 2
+
+    def test_cache_rejects_second_database(self, tiny_db, tiny_schema):
+        """Reusing one cache against a different database fails loudly."""
+        from tests.conftest import build_tiny_database
+
+        cache = SubplanCache()
+        Executor(tiny_db, subplan_cache=cache)
+        other_db = build_tiny_database(tiny_schema, seed=1)
+        with pytest.raises(ValueError, match="bound to a different Database"):
+            Executor(other_db, subplan_cache=cache)
+        # clear() unbinds, allowing deliberate reuse from scratch.
+        cache.clear()
+        Executor(other_db, subplan_cache=cache)
+
+    def test_total_byte_budget_enforced(self):
+        from repro.executor.chunk import Chunk
+
+        # Sourceless chunks cost num_rows * 8 bytes each.
+        cache = SubplanCache(max_entries=100, max_rows=10 ** 9,
+                             max_bytes=3_000 * 8)
+        for i in range(10):
+            sig = (frozenset({("scan", f"t{i}", f"t{i}", False, frozenset())}),
+                   frozenset())
+            cache.put(sig, Chunk((), 1_000))
+        assert cache.total_bytes <= cache.max_bytes
+        assert len(cache) == 3
+        # An entry that alone exceeds the budget is rejected outright.
+        big_sig = (frozenset({("scan", "big", "big", False, frozenset())}),
+                   frozenset())
+        rejected_before = cache.rejected
+        cache.put(big_sig, Chunk((), 10_000))
+        assert cache.rejected == rejected_before + 1
+        assert len(cache) == 3
+
+    def test_unhashable_filter_literal_skips_caching(self, tiny_db):
+        """A filter holding an unhashable literal must not break execution."""
+        from repro.plan.expressions import InList
+        from repro.plan.physical import PhysicalPlan, ScanNode
+
+        cache = SubplanCache()
+        executor = Executor(tiny_db, subplan_cache=cache)
+        scan = ScanNode(relation=RelationRef.base("t", "t"),
+                        filters=(InList(ColumnRef("t", "year"), [2015, 2016]),))
+        plan = PhysicalPlan(query_name="unhashable", root=scan,
+                            output_columns=(ColumnRef("t", "year"),))
+        result = executor.execute(plan)
+        assert result.num_rows > 0
+        assert set(result.table.column("t.year").tolist()) == {2015, 2016}
+        assert len(cache) == 0  # nothing cached, nothing crashed
+
+    def test_oracle_answers_from_subplan_cache(self, tiny_db, optimizer):
+        from repro.optimizer.oracle import TrueCardinalityOracle
+
+        cache = SubplanCache()
+        executor = Executor(tiny_db, subplan_cache=cache)
+        spj = five_way_query()
+        plan = optimizer.plan(spj)
+        result = executor.execute(plan)
+        oracle = TrueCardinalityOracle(tiny_db, subplan_cache=cache)
+        rows = oracle.true_rows(spj.relations, spj.filters, spj.join_predicates,
+                                query_name=spj.name)
+        assert oracle.subplan_hits == 1
+        assert oracle.executions == 0
+        assert int(rows) == result.join_rows
+
 
 class TestAggregationHelpers:
     def test_group_aggregate(self):
@@ -231,6 +473,56 @@ class TestAggregationHelpers:
         out = group_aggregate(columns, (),
                               (AggregateSpec("avg", ColumnRef("v", "x"), "mean"),))
         assert out.to_rows()[0][0] == pytest.approx(2.0)
+
+    def test_group_aggregate_min_max_avg(self):
+        columns = {
+            "g.key": np.array([2, 1, 2, 1, 2]),
+            "v.x": np.array([5.0, 1.0, 3.0, 7.0, 4.0]),
+            "v.s": np.array(["b", "z", "a", "c", "d"], dtype=object),
+        }
+        out = group_aggregate(
+            columns, (ColumnRef("g", "key"),),
+            (AggregateSpec("min", ColumnRef("v", "x"), "lo"),
+             AggregateSpec("max", ColumnRef("v", "x"), "hi"),
+             AggregateSpec("avg", ColumnRef("v", "x"), "mean"),
+             AggregateSpec("min", ColumnRef("v", "s"), "first_s")))
+        rows = {tuple(r) for r in out.to_rows()}
+        assert rows == {(1, 1.0, 7.0, 4.0, "c"), (2, 3.0, 5.0, 4.0, "a")}
+        # Object-dtype output contract is preserved.
+        for name in ("lo", "hi", "mean", "first_s"):
+            assert out.column(name).dtype == object
+
+    def test_group_aggregate_empty_input(self):
+        columns = {"g.key": np.array([], dtype=np.int64),
+                   "v.x": np.array([], dtype=np.float64)}
+        out = group_aggregate(columns, (ColumnRef("g", "key"),),
+                              (AggregateSpec("sum", ColumnRef("v", "x"), "total"),
+                               AggregateSpec("count", None, "cnt")))
+        assert out.num_rows == 0
+
+    def test_group_aggregate_matches_python_reference(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 17, 400)
+        vals = rng.normal(size=400)
+        columns = {"g.k": keys, "v.x": vals}
+        out = group_aggregate(
+            columns, (ColumnRef("g", "k"),),
+            (AggregateSpec("sum", ColumnRef("v", "x"), "s"),
+             AggregateSpec("min", ColumnRef("v", "x"), "lo"),
+             AggregateSpec("max", ColumnRef("v", "x"), "hi"),
+             AggregateSpec("avg", ColumnRef("v", "x"), "m"),
+             AggregateSpec("count", None, "c")))
+        by_key = {}
+        for k, v in zip(keys.tolist(), vals.tolist()):
+            by_key.setdefault(k, []).append(v)
+        got = {row[0]: row[1:] for row in out.to_rows()}
+        assert set(got) == set(by_key)
+        for k, members in by_key.items():
+            s, lo, hi, m, c = got[k]
+            assert s == pytest.approx(sum(members))
+            assert lo == min(members) and hi == max(members)
+            assert m == pytest.approx(sum(members) / len(members))
+            assert c == len(members)
 
     def test_union_all(self):
         a = DataTable("a", {"x": np.array([1, 2])})

@@ -99,6 +99,44 @@ class TestBaselineBehaviour:
         report = Perron19Baseline(tiny_db, Optimizer(tiny_db), config=config).run(tiny_query)
         assert report.stats_collections == 0
 
+    def test_join_overflow_reported_as_timeout(self):
+        """A JoinOverflowError inside execution surfaces as a timed-out run."""
+        import numpy as np
+
+        from repro.catalog.schema import Column, Schema, TableSchema
+        from repro.catalog.types import DataType
+        from repro.plan.expressions import ColumnRef, JoinPredicate
+        from repro.plan.logical import Query, RelationRef, SPJQuery
+        from repro.storage.database import Database, IndexConfig
+        from repro.storage.table import DataTable
+
+        schema = Schema([
+            TableSchema("a", [Column("id", DataType.INT),
+                              Column("key", DataType.INT)], primary_key="id"),
+            TableSchema("b", [Column("id", DataType.INT),
+                              Column("key", DataType.INT)], primary_key="id"),
+        ])
+        db = Database(schema, index_config=IndexConfig.NONE)
+        # 7000 x 7000 rows with a constant join key: 49M matches, above the
+        # 40M join-result cap, so the equi-join kernel aborts the query.
+        n = 7000
+        db.load_table(DataTable("a", {"id": np.arange(n),
+                                      "key": np.zeros(n, dtype=np.int64)}))
+        db.load_table(DataTable("b", {"id": np.arange(n),
+                                      "key": np.zeros(n, dtype=np.int64)}))
+        query = Query.from_spj(SPJQuery(
+            name="overflow",
+            relations=(RelationRef.base("a", "a"), RelationRef.base("b", "b")),
+            join_predicates=(JoinPredicate(ColumnRef("a", "key"),
+                                           ColumnRef("b", "key")),),
+        ))
+        baseline = DefaultBaseline(db, Optimizer(db),
+                                   config=BaselineConfig(timeout_seconds=5.0))
+        report = baseline.run(query)
+        assert report.timed_out
+        assert report.total_time >= 5.0
+        assert db.temp_table_names == []
+
     def test_timeout_flag(self, tiny_db, tiny_query):
         config = BaselineConfig(timeout_seconds=0.0)
         report = PopBaseline(tiny_db, Optimizer(tiny_db), config=config).run(tiny_query)
