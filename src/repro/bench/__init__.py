@@ -1,7 +1,7 @@
 """Benchmark harness and reporting utilities."""
 
-from repro.bench.harness import HarnessConfig, run_query, run_workload
+from repro.bench.harness import HarnessConfig, run_generated, run_query, run_workload
 from repro.bench.reporting import format_table, summarize_workloads
 
-__all__ = ["HarnessConfig", "run_query", "run_workload", "format_table",
-           "summarize_workloads"]
+__all__ = ["HarnessConfig", "run_query", "run_workload", "run_generated",
+           "format_table", "summarize_workloads"]

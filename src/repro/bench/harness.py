@@ -76,3 +76,20 @@ def run_workload(database: Database, queries: Sequence[Query], algorithm: str,
                   f"{report.materializations} materializations)")
         result.reports.append(report)
     return result
+
+
+def run_generated(generator, n: int, algorithm: str,
+                  config: HarnessConfig | None = None,
+                  start: int = 0) -> WorkloadResult:
+    """Generated-stream mode: run ``n`` queries from a seeded generator.
+
+    ``generator`` is a :class:`~repro.workloads.sqlgen.RandomQueryGenerator`
+    (or anything exposing ``database`` and ``generate(n, start)``); the
+    queries at stream positions ``start .. start + n - 1`` are materialized
+    and run under ``algorithm`` against the generator's own database.
+    Because the stream is a pure function of the seed, calling this for
+    several algorithms (or across processes) compares them on the *identical*
+    workload without shipping query lists around.
+    """
+    queries = generator.generate(n, start=start)
+    return run_workload(generator.database, queries, algorithm, config)

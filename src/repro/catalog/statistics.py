@@ -89,6 +89,19 @@ class Histogram:
         sel = hi_sel - lo_sel
         return float(min(max(sel, 0.0), 1.0))
 
+    def value_at_fraction(self, fraction: float) -> float:
+        """Inverse CDF: the column value below which ``fraction`` of rows fall.
+
+        This is the sampling counterpart of :meth:`selectivity_le`; the
+        workload generator uses it to turn a target selectivity into concrete
+        range bounds drawn from the observed value distribution.
+        """
+        fraction = min(max(fraction, 0.0), 1.0)
+        position = fraction * self.num_buckets
+        idx = min(int(position), self.num_buckets - 1)
+        lo, hi = self.bounds[idx], self.bounds[idx + 1]
+        return float(lo + (position - idx) * (hi - lo))
+
 
 @dataclass
 class ColumnStats:
@@ -141,6 +154,69 @@ class ColumnStats:
         remaining_ndv = max(self.effective_ndv() - len(self.mcv_values), 1)
         return remaining_fraction / remaining_ndv
 
+    # ------------------------------------------------------------------
+    # Distribution-driven sampling (used by the random workload generator)
+    # ------------------------------------------------------------------
+    def sample_value(self, rng: "np.random.Generator"):
+        """Draw one plausible column value from the observed distribution.
+
+        Prefers the MCV list (weighted by frequency, which is how a real
+        point query is most likely to probe the column) and falls back to the
+        histogram / min-max range for numeric columns.  Returns ``None`` when
+        no value can be derived from the available statistics.
+        """
+        if self.mcv_values and (
+                not self.dtype.is_numeric
+                or rng.random() < max(self.total_mcv_fraction(), 0.1)):
+            weights = np.asarray(self.mcv_fractions, dtype=float)
+            idx = int(rng.choice(len(self.mcv_values), p=weights / weights.sum()))
+            return _python_scalar(self.mcv_values[idx])
+        if self.dtype.is_numeric:
+            if self.histogram is not None:
+                value = self.histogram.value_at_fraction(float(rng.random()))
+            elif self.min_value is not None and self.max_value is not None:
+                value = float(rng.uniform(self.min_value, self.max_value))
+            else:
+                return None
+            return int(round(value)) if self.dtype is not DataType.FLOAT else value
+        return None
+
+    def sample_range(self, rng: "np.random.Generator",
+                     target_selectivity: float) -> tuple | None:
+        """Draw ``(low, high)`` bounds covering ~``target_selectivity`` rows.
+
+        The bounds come from the histogram's inverse CDF (or the min/max span
+        for histogram-less columns), so a target of 0.1 yields a range that
+        actually selects about 10% of the rows regardless of skew.  Returns
+        ``None`` for non-numeric or unanalyzed columns.
+        """
+        if not self.dtype.is_numeric:
+            return None
+        target_selectivity = min(max(target_selectivity, 0.0), 1.0)
+        start = float(rng.uniform(0.0, 1.0 - target_selectivity))
+        if self.histogram is not None:
+            low = self.histogram.value_at_fraction(start)
+            high = self.histogram.value_at_fraction(start + target_selectivity)
+        elif self.min_value is not None and self.max_value is not None:
+            span = self.max_value - self.min_value
+            low = self.min_value + start * span
+            high = low + target_selectivity * span
+        else:
+            return None
+        if self.dtype is not DataType.FLOAT:
+            return int(np.floor(low)), int(np.ceil(high))
+        return float(low), float(high)
+
+    def sample_in_values(self, rng: "np.random.Generator",
+                         max_values: int = 4) -> tuple | None:
+        """Draw a distinct IN-list from the MCV values (``None`` if too few)."""
+        available = len(self.mcv_values)
+        if available < 2 or max_values < 2:
+            return None
+        count = int(rng.integers(2, min(max_values, available) + 1))
+        indices = rng.choice(available, size=count, replace=False)
+        return tuple(_python_scalar(self.mcv_values[i]) for i in sorted(indices))
+
     def range_selectivity(self, low=None, high=None) -> float:
         """Estimated selectivity of ``low <= column <= high`` (either bound optional)."""
         if self.num_rows == 0:
@@ -155,6 +231,11 @@ class ColumnStats:
             hi = self.max_value if high is None else min(high, self.max_value)
             return float(min(max((hi - lo) / span, 0.0), 1.0))
         return self.histogram.selectivity_range(low, high)
+
+
+def _python_scalar(value):
+    """Convert numpy scalars to plain Python values (predicate literals)."""
+    return value.item() if isinstance(value, np.generic) else value
 
 
 @dataclass

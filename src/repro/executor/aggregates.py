@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.executor.joins import _MAX_COMBINED_CODE
 from repro.plan.expressions import ColumnRef
 from repro.plan.logical import AggregateSpec
 from repro.storage.table import DataTable
@@ -47,11 +48,20 @@ def group_aggregate(columns: dict[str, np.ndarray],
     if not group_by:
         return _scalar_aggregate(columns, aggregates)
     key_arrays = [columns[ref.qualified] for ref in group_by]
-    # Build group ids via successive uniquification of the key columns.
+    # Build group ids via successive uniquification of the key columns.  As
+    # in joins.combine_key_pair, the running ``ids * span + inverse``
+    # encoding is re-uniquified into a dense range whenever the next
+    # extension could overflow int64 (equal composites stay equal, so the
+    # grouping is unchanged).
     group_ids = np.zeros(rows, dtype=np.int64)
     for arr in key_arrays:
         _, inverse = np.unique(arr, return_inverse=True)
-        group_ids = group_ids * (int(inverse.max()) + 1 if rows else 1) + inverse
+        span = int(inverse.max()) + 1 if rows else 1
+        current_max = int(group_ids.max()) if rows else 0
+        if current_max and span > _MAX_COMBINED_CODE // (current_max + 1):
+            _, group_ids = np.unique(group_ids, return_inverse=True)
+            group_ids = group_ids.astype(np.int64)
+        group_ids = group_ids * span + inverse
     uniq_ids, group_index, inverse = np.unique(group_ids, return_index=True,
                                                return_inverse=True)
     out: dict[str, np.ndarray] = {}

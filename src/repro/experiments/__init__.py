@@ -20,4 +20,8 @@ minutes on a laptop or expanded for higher fidelity.
 | ``figure15_statistics``     | Figure 15 (collect statistics or not)        |
 | ``table5_existing_costfn``  | Table 5 (existing re-opts with Phi functions)|
 | ``table6_categories``       | Table 6 + Figures 16-19 (categories, timelines)|
+| ``figure_sqlgen_scaling``   | (no paper artifact) generated-stream scaling |
+
+See EXPERIMENTS.md for the timing-accounting rules shared by every module
+and the full figure/table mapping.
 """

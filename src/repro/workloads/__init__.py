@@ -12,12 +12,22 @@ preserves the characteristics the evaluation depends on:
   case" for re-optimization);
 * :mod:`repro.workloads.dsb` -- a skewed TPC-DS subset with both SPJ and
   non-SPJ queries.
+
+Beyond the fixed suites, :mod:`repro.workloads.sqlgen` generates unbounded
+seeded random query streams over any loaded database by walking the schema's
+FK graph and sampling predicates from the ANALYZE statistics.
 """
 
 from repro.workloads.imdb import build_imdb_database, IMDB_SCHEMA
 from repro.workloads.job_queries import job_queries
 from repro.workloads.tpch import build_tpch_database, tpch_queries, TPCH_SCHEMA
 from repro.workloads.dsb import build_dsb_database, dsb_queries, DSB_SCHEMA
+from repro.workloads.sqlgen import (
+    AggregateSamplerConfig,
+    JoinSamplerConfig,
+    PredicateSamplerConfig,
+    RandomQueryGenerator,
+)
 
 __all__ = [
     "build_imdb_database",
@@ -29,4 +39,8 @@ __all__ = [
     "build_dsb_database",
     "dsb_queries",
     "DSB_SCHEMA",
+    "RandomQueryGenerator",
+    "JoinSamplerConfig",
+    "PredicateSamplerConfig",
+    "AggregateSamplerConfig",
 ]

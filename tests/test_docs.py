@@ -1,0 +1,40 @@
+"""Docs-consistency tests: referenced documents exist; examples stay runnable.
+
+The same check runs as a dedicated CI step (see .github/workflows/ci.yml);
+running it in tier-1 too means a dangling documentation pointer fails
+locally before a PR is even opened.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_markdown_references_resolve():
+    check_docs = _load_check_docs()
+    missing = check_docs.find_missing_references(REPO_ROOT)
+    assert missing == [], (
+        "dangling Markdown references: "
+        + ", ".join(f"{path.name} -> {ref}" for path, ref in missing))
+
+
+def test_core_documents_exist():
+    for name in ("README.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "ROADMAP.md"):
+        assert (REPO_ROOT / name).is_file(), f"{name} is missing"
+
+
+def test_examples_are_importable():
+    """Every example script must at least compile (CI runs quickstart fully)."""
+    for script in sorted((REPO_ROOT / "examples").glob("*.py")):
+        source = script.read_text(encoding="utf-8")
+        compile(source, str(script), "exec")

@@ -524,6 +524,30 @@ class TestAggregationHelpers:
             assert m == pytest.approx(sum(members) / len(members))
             assert c == len(members)
 
+    def test_group_aggregate_survives_span_overflow(self):
+        """Many high-cardinality group-by columns must not overflow int64.
+
+        40 key columns with ~100 distinct values each give a naive span
+        product of 100**40 -- far past int64 -- so this exercises the
+        re-uniquify fallback (same encoding as combine_key_pair).  Rows with
+        identical composites must land in one group, wrapped ids must not
+        merge distinct composites.
+        """
+        rng = np.random.default_rng(11)
+        n_rows, n_cols = 60, 40
+        keys = [rng.integers(0, 100, n_rows) for _ in range(n_cols)]
+        # Duplicate the first ten rows so some groups have exactly 2 members.
+        keys = [np.concatenate([arr, arr[:10]]) for arr in keys]
+        columns = {f"g.k{i}": arr for i, arr in enumerate(keys)}
+        columns["v.x"] = np.ones(n_rows + 10, dtype=np.int64)
+        refs = tuple(ColumnRef("g", f"k{i}") for i in range(n_cols))
+        out = group_aggregate(columns, refs,
+                              (AggregateSpec("count", None, "cnt"),))
+        composites = {tuple(arr[i] for arr in keys) for i in range(n_rows + 10)}
+        assert out.num_rows == len(composites)
+        counts = {int(c) for c in out.column("cnt")}
+        assert counts == {1, 2}
+
     def test_union_all(self):
         a = DataTable("a", {"x": np.array([1, 2])})
         b = DataTable("b", {"x": np.array([3])})

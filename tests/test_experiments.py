@@ -11,6 +11,7 @@ from repro.experiments import (
     figure13_dsb_spj,
     figure14_dsb_nonspj,
     figure15_statistics,
+    figure_sqlgen_scaling,
     table1_similarity,
     table3_policies,
     table4_materialization,
@@ -96,6 +97,26 @@ def test_table5_existing_costfn():
         cost_functions=(CostFunction.PHI4,), verbose=False)
     assert ("Pop", "original") in results
     assert ("Pop", "phi4") in results
+
+
+def test_figure_sqlgen_scaling():
+    outcome = figure_sqlgen_scaling.run(
+        scale=0.1, stream_lengths=(5,), join_depths=(2, 3),
+        algorithms=("QuerySplit", "Default"), timeout_seconds=10.0,
+        verbose=False)
+    cells, robustness = outcome["cells"], outcome["robustness"]
+    assert set(cells) == {(2, 5), (3, 5)}
+    for cell in cells.values():
+        assert set(cell["results"]) == {"QuerySplit", "Default"}
+        assert 0.0 <= cell["cache_hit_rate"] <= 1.0
+    assert set(robustness) == {"QuerySplit", "Default"}
+    # Robustness is the worst per-cell slowdown vs. that cell's best policy.
+    for algorithm in ("QuerySplit", "Default"):
+        expected = max(
+            cell["results"][algorithm].total_time
+            / min(r.total_time for r in cell["results"].values())
+            for cell in cells.values())
+        assert robustness[algorithm] == pytest.approx(max(1.0, expected))
 
 
 def test_table6_categories():

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Docs-consistency check: every referenced ``*.md`` file must exist.
+
+Scans the repository's Python sources (docstrings and comments included --
+the whole file text is searched) and Markdown documents for references to
+Markdown files, and fails if a referenced document is missing from the
+repository.  This keeps pointers like "see EXPERIMENTS.md" in
+``src/repro/bench/harness.py`` from dangling when documents are renamed.
+
+Usage::
+
+    python tools/check_docs.py [repo_root]
+
+Exits non-zero listing every dangling reference.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Directories scanned for referencing files.
+SCANNED_DIRS = ("src", "examples", "tests", "benchmarks", "tools")
+
+#: Tokens that look like a Markdown file reference.  URLs are filtered out
+#: separately; a bare ".md" (empty stem) never matches.
+MD_REFERENCE = re.compile(r"[A-Za-z0-9_][A-Za-z0-9_./-]*\.md\b")
+
+
+def referencing_files(root: Path) -> list[Path]:
+    """All files whose text is searched for Markdown references."""
+    files = sorted(root.glob("*.md"))
+    for directory in SCANNED_DIRS:
+        files.extend(sorted((root / directory).rglob("*.py")))
+        files.extend(sorted((root / directory).rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def find_missing_references(root: Path) -> list[tuple[Path, str]]:
+    """``(referencing file, reference)`` pairs that resolve to no file.
+
+    A reference resolves if it exists relative to the repository root or
+    relative to the referencing file's own directory.
+    """
+    missing: list[tuple[Path, str]] = []
+    for path in referencing_files(root):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for line in text.splitlines():
+            for match in MD_REFERENCE.finditer(line):
+                reference = match.group()
+                start = match.start()
+                prefix = line[max(0, start - 8):start]
+                if "://" in prefix:  # part of a URL
+                    continue
+                if not ((root / reference).is_file()
+                        or (path.parent / reference).is_file()):
+                    missing.append((path, reference))
+    return missing
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    missing = find_missing_references(root)
+    if missing:
+        print(f"docs check FAILED: {len(missing)} dangling Markdown reference(s):")
+        for path, reference in missing:
+            print(f"  {path.relative_to(root)}: {reference!r} does not exist")
+        return 1
+    print(f"docs check OK: all Markdown references under {root} resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
