@@ -15,6 +15,6 @@ def test_figure10_noise_sweep(benchmark, scale, families):
     results = benchmark.pedantic(
         lambda: figure10_robustness.run(scale=scale, families=families,
                                         sigmas=sigmas, policies=policies,
-                                        verbose=True),
+                                        verbose=True).data,
         rounds=1, iterations=1)
     assert len(results) == len(sigmas) * len(policies)

@@ -10,7 +10,7 @@ def test_figure11_job_comparison(benchmark, scale, families):
                         "Perron19", "USE", "Pessi.", "FS"))
     results = benchmark.pedantic(
         lambda: figure11_job.run(scale=scale, families=families,
-                                 algorithms=algorithms, verbose=True),
+                                 algorithms=algorithms, verbose=True).data,
         rounds=1, iterations=1)
     for per_algorithm in results.values():
         times = {name: result.total_time for name, result in per_algorithm.items()}

@@ -7,8 +7,8 @@ from benchmarks.conftest import full_mode
 def test_figure12_tpch(benchmark, scale):
     query_numbers = None if full_mode() else [1, 3, 4, 5, 6, 10, 12, 14, 18, 19]
     results = benchmark.pedantic(
-        lambda: figure12_tpch.run(scale=scale, query_numbers=query_numbers,
-                                  verbose=True),
+        lambda: figure12_tpch.run(scale=scale, families=query_numbers,
+                                  verbose=True).data,
         rounds=1, iterations=1)
     for per_algorithm in results.values():
         times = {name: result.total_time for name, result in per_algorithm.items()}

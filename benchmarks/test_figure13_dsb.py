@@ -9,7 +9,7 @@ def test_figure13_dsb_spj(benchmark, scale):
                   else ("QuerySplit", "Default", "Reopt", "Pop", "Perron19"))
     results = benchmark.pedantic(
         lambda: figure13_dsb_spj.run(scale=scale, algorithms=algorithms,
-                                     verbose=True),
+                                     verbose=True).data,
         rounds=1, iterations=1)
     for per_algorithm in results.values():
         assert per_algorithm["QuerySplit"].timeouts == 0

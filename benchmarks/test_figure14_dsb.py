@@ -9,7 +9,7 @@ def test_figure14_dsb_nonspj(benchmark, scale):
                   else ("QuerySplit", "Default", "Pop", "Perron19"))
     results = benchmark.pedantic(
         lambda: figure14_dsb_nonspj.run(scale=scale, algorithms=algorithms,
-                                        verbose=True),
+                                        verbose=True).data,
         rounds=1, iterations=1)
     for per_algorithm in results.values():
         assert per_algorithm["QuerySplit"].timeouts == 0

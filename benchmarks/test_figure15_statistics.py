@@ -9,7 +9,7 @@ def test_figure15_statistics(benchmark, scale, families):
                   else ("QuerySplit", "Pop", "Perron19"))
     results = benchmark.pedantic(
         lambda: figure15_statistics.run(scale=scale, families=families,
-                                        algorithms=algorithms, verbose=True),
+                                        algorithms=algorithms, verbose=True).data,
         rounds=1, iterations=1)
     # Paper shape: for QuerySplit, skipping statistics collection does not
     # hurt (its subqueries are mostly PK-FK joins).

@@ -58,7 +58,7 @@ def test_subplan_cache_hit_rate_on_table3_run(scale):
         cost_functions=(CostFunction.PHI4,),
         subplan_cache=cache,
         verbose=False,
-    )
+    ).data
     assert cache.hits > 0
     assert cache.hit_rate > 0.0
     # Sharing subtrees across policies must not change any result.

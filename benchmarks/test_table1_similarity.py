@@ -5,7 +5,7 @@ from repro.experiments import table1_similarity
 
 def test_table1_similarity(benchmark, scale, families):
     ratios = benchmark.pedantic(
-        lambda: table1_similarity.run(scale=scale, families=families, verbose=True),
+        lambda: table1_similarity.run(scale=scale, families=families, verbose=True).data,
         rounds=1, iterations=1)
     assert abs(sum(ratios.values()) - 1.0) < 1e-9
     # Paper shape: a majority of queries lose optimality within the first two

@@ -17,7 +17,7 @@ def test_table3_policy_grid(benchmark, scale, families):
     results = benchmark.pedantic(
         lambda: table3_policies.run(scale=scale, families=families,
                                     qsa_strategies=qsa, cost_functions=ssa,
-                                    verbose=True),
+                                    verbose=True).data,
         rounds=1, iterations=1)
     # Paper shape: FK-Center is never the worst strategy for Phi4.
     phi4 = {qsa_name: res.total_time for (ssa_name, qsa_name), res in results.items()

@@ -6,7 +6,7 @@ from repro.experiments import table4_materialization
 def test_table4_materialization(benchmark, scale, families):
     metrics = benchmark.pedantic(
         lambda: table4_materialization.run(scale=scale, families=families,
-                                           verbose=True),
+                                           verbose=True).data,
         rounds=1, iterations=1)
     # Paper shape: QuerySplit has the smallest per-subquery memory footprint
     # among the algorithms that do materialize, and Reopt materializes least.

@@ -13,7 +13,7 @@ def test_table5_existing_with_phi(benchmark, scale, families):
         lambda: table5_existing_costfn.run(scale=scale, families=families,
                                            algorithms=algorithms,
                                            cost_functions=cost_functions,
-                                           verbose=True),
+                                           verbose=True).data,
         rounds=1, iterations=1)
     # Every variant completes and the original policy is present for reference.
     for algorithm in algorithms:

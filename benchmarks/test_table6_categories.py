@@ -5,7 +5,7 @@ from repro.experiments import table6_categories
 
 def test_table6_categories_and_timelines(benchmark, scale, families):
     outcome = benchmark.pedantic(
-        lambda: table6_categories.run(scale=scale, families=families, verbose=True),
+        lambda: table6_categories.run(scale=scale, families=families, verbose=True).data,
         rounds=1, iterations=1)
     freq = outcome.frequency()
     total = sum(freq.values())

@@ -1,7 +1,17 @@
-"""Benchmark harness and reporting utilities."""
+"""Benchmark harness, reporting, and persisted-artifact utilities."""
 
+from repro.bench.artifacts import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    build_artifact,
+    load_artifact,
+    validate_artifact,
+    write_artifact,
+)
 from repro.bench.harness import HarnessConfig, run_generated, run_query, run_workload
 from repro.bench.reporting import format_table, summarize_workloads
 
 __all__ = ["HarnessConfig", "run_query", "run_workload", "run_generated",
-           "format_table", "summarize_workloads"]
+           "format_table", "summarize_workloads", "ExperimentResult",
+           "SCHEMA_VERSION", "build_artifact", "write_artifact",
+           "load_artifact", "validate_artifact"]

@@ -3,6 +3,8 @@
 The harness runs a list of queries under a named algorithm and collects the
 per-query :class:`~repro.report.ExecutionReport` objects into a
 :class:`~repro.report.WorkloadResult`.  Every experiment module builds on it.
+The harness only *measures*; formatting lives in
+:mod:`repro.bench.reporting` and persistence in :mod:`repro.bench.artifacts`.
 
 Measured time is the executor wall-clock time plus materialization and
 statistics-collection time; planner time is excluded for *all* algorithms
@@ -70,10 +72,8 @@ def run_workload(database: Database, queries: Sequence[Query], algorithm: str,
     for query in queries:
         report = run_query(database, query, algorithm, config)
         if config.verbose:
-            status = "TO" if report.timed_out else f"{report.total_time * 1000:8.1f} ms"
-            print(f"  [{algorithm:>10s}] {query.name:<12s} {status} "
-                  f"({report.num_iterations} iterations, "
-                  f"{report.materializations} materializations)")
+            from repro.bench.reporting import describe_report
+            print(describe_report(report))
         result.reports.append(report)
     return result
 

@@ -1,15 +1,18 @@
 """Plain-text reporting helpers shared by the experiment modules.
 
-Every experiment prints its reproduction of the corresponding paper table or
-figure as an ASCII table so that the benchmark output can be compared to the
-paper side by side.
+Every experiment renders its reproduction of the corresponding paper table
+or figure as an ASCII table (attached to the
+:class:`~repro.bench.artifacts.ExperimentResult` it returns) so that the
+benchmark output can be compared to the paper side by side.  Formatting
+lives here, measurement in :mod:`repro.bench.harness`, and persistence in
+:mod:`repro.bench.artifacts`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.report import WorkloadResult
+from repro.report import ExecutionReport, WorkloadResult
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -36,6 +39,15 @@ def format_seconds(seconds: float) -> str:
     if seconds >= 1:
         return f"{seconds:.2f} s"
     return f"{seconds * 1000:.1f} ms"
+
+
+def describe_report(report: ExecutionReport) -> str:
+    """One status line per executed query (the harness's verbose output)."""
+    status = ("TO" if report.timed_out
+              else f"{report.total_time * 1000:8.1f} ms")
+    return (f"  [{report.algorithm:>10s}] {report.query_name:<12s} {status} "
+            f"({report.num_iterations} iterations, "
+            f"{report.materializations} materializations)")
 
 
 def summarize_workloads(results: dict[str, WorkloadResult]) -> list[tuple]:

@@ -1,11 +1,19 @@
 """Experiment modules: one per table / figure of the paper's evaluation.
 
 Each module exposes a ``run(...)`` function that executes the experiment on
-the synthetic workloads, prints a plain-text reproduction of the paper's
-table or figure, and returns the underlying data so tests and benchmarks can
-assert on it.  Every ``run`` takes a ``scale`` and (where applicable) a
-``queries`` / ``families`` restriction so the full study can be executed in
-minutes on a laptop or expanded for higher fidelity.
+the synthetic workloads and returns an
+:class:`~repro.bench.artifacts.ExperimentResult`: the experiment-specific
+data (``result.data``, the shape tests assert on), the flattened per-query
+workload results, a JSON-safe summary, and the pre-rendered ASCII
+reproduction of the paper artifact (printed when ``verbose=True``).  Every
+``run`` takes a ``scale`` and (where applicable) a ``families`` restriction
+so the full study can be executed in minutes on a laptop or expanded for
+higher fidelity.
+
+Every module registers itself with :mod:`repro.experiments.registry`;
+``python -m repro.cli list`` enumerates the registry and
+``python -m repro.cli run`` executes experiments in parallel and persists
+their results as JSON artifacts (see EXPERIMENTS.md).
 
 | Module                      | Paper artifact                              |
 |-----------------------------|---------------------------------------------|
@@ -22,6 +30,6 @@ minutes on a laptop or expanded for higher fidelity.
 | ``table6_categories``       | Table 6 + Figures 16-19 (categories, timelines)|
 | ``figure_sqlgen_scaling``   | (no paper artifact) generated-stream scaling |
 
-See EXPERIMENTS.md for the timing-accounting rules shared by every module
-and the full figure/table mapping.
+See EXPERIMENTS.md for the timing-accounting rules shared by every module,
+the CLI runner, and the persisted artifact schema.
 """

@@ -14,17 +14,21 @@ errors the noise dwarfs); set ``use_oracle=True`` for the paper-exact setup.
 
 from __future__ import annotations
 
+from repro.bench.artifacts import ExperimentResult, base_summary
 from repro.bench.harness import HarnessConfig, run_workload
 from repro.bench.reporting import format_seconds, format_table
 from repro.core.qsa import QSAStrategy
 from repro.core.ssa import CostFunction
+from repro.experiments.registry import experiment
 from repro.optimizer.cardinality import DefaultCardinalityEstimator
 from repro.optimizer.injection import NoisyCardinalityEstimator
 from repro.optimizer.oracle import OracleCardinalityEstimator
 from repro.report import WorkloadResult
 from repro.storage.database import IndexConfig
-from repro.workloads.imdb import build_imdb_database
-from repro.workloads.job_queries import job_queries
+from repro.workloads import dbcache
+from repro.workloads.job_queries import JOB_FAMILY_NUMBERS, job_queries
+
+PAPER_ARTIFACT = "Figure 10 (CE-noise robustness)"
 
 DEFAULT_SIGMAS = (0.5, 1.0, 2.0, 4.0)
 DEFAULT_POLICIES = (
@@ -36,6 +40,8 @@ DEFAULT_POLICIES = (
 )
 
 
+@experiment(artifact=PAPER_ARTIFACT, shard_param="families",
+            shard_universe=JOB_FAMILY_NUMBERS)
 def run(scale: float = 1.0, families: list[int] | None = None,
         sigmas: tuple[float, ...] = DEFAULT_SIGMAS,
         mu: float = 0.0,
@@ -43,9 +49,13 @@ def run(scale: float = 1.0, families: list[int] | None = None,
         use_oracle: bool = False,
         seed: int = 1,
         timeout_seconds: float = 30.0,
-        verbose: bool = True) -> dict[tuple[str, str, float], WorkloadResult]:
-    """Run the robustness sweep; returns results keyed by (qsa, ssa, sigma)."""
-    database = build_imdb_database(scale=scale, index_config=IndexConfig.PK_FK)
+        verbose: bool = True) -> ExperimentResult:
+    """Run the robustness sweep.
+
+    ``result.data`` maps ``(qsa, ssa, sigma)`` to the
+    :class:`~repro.report.WorkloadResult` measured under that noise width.
+    """
+    database = dbcache.build("imdb", scale=scale, index_config=IndexConfig.PK_FK)
     queries = job_queries(families=families)
 
     results: dict[tuple[str, str, float], WorkloadResult] = {}
@@ -65,16 +75,31 @@ def run(scale: float = 1.0, families: list[int] | None = None,
             result = run_workload(database, queries, "QuerySplit", config)
             results[(strategy.value, cost_function.value, sigma)] = result
 
+    headers = ["Policy (QSA, SSA)"] + [f"sigma={s}" for s in sigmas]
+    rows = []
+    for strategy, cost_function in policies:
+        row = [f"{strategy.value} + {cost_function.value}"]
+        for sigma in sigmas:
+            result = results[(strategy.value, cost_function.value, sigma)]
+            marker = " (TO)" if result.timeouts else ""
+            row.append(format_seconds(result.total_time) + marker)
+        rows.append(row)
+
+    workloads = {f"{qsa}+{ssa}/sigma={sigma}": res
+                 for (qsa, ssa, sigma), res in results.items()}
+    outcome = ExperimentResult(
+        name="figure10_robustness",
+        artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "families": families, "sigmas": list(sigmas),
+                "mu": mu, "use_oracle": use_oracle, "seed": seed,
+                "timeout_seconds": timeout_seconds,
+                "policies": [f"{s.value}+{c.value}" for s, c in policies]},
+        data=results,
+        workloads=workloads,
+        summary=base_summary(workloads),
+        tables=[format_table(headers, rows,
+                             title=f"Figure 10: JOB time under CE noise (mu={mu})")],
+    )
     if verbose:
-        headers = ["Policy (QSA, SSA)"] + [f"sigma={s}" for s in sigmas]
-        rows = []
-        for strategy, cost_function in policies:
-            row = [f"{strategy.value} + {cost_function.value}"]
-            for sigma in sigmas:
-                result = results[(strategy.value, cost_function.value, sigma)]
-                marker = " (TO)" if result.timeouts else ""
-                row.append(format_seconds(result.total_time) + marker)
-            rows.append(row)
-        print(format_table(headers, rows,
-                           title=f"Figure 10: JOB time under CE noise (mu={mu})"))
-    return results
+        print(outcome.render())
+    return outcome

@@ -9,12 +9,15 @@ configurations (PK-only, PK+FK) are evaluated.
 
 from __future__ import annotations
 
+from repro.bench.artifacts import ExperimentResult, grid_result
 from repro.bench.harness import HarnessConfig, run_workload
-from repro.bench.reporting import format_seconds, format_table
+from repro.experiments.registry import experiment
 from repro.report import WorkloadResult
 from repro.storage.database import IndexConfig
-from repro.workloads.imdb import build_imdb_database
-from repro.workloads.job_queries import job_queries
+from repro.workloads import dbcache
+from repro.workloads.job_queries import JOB_FAMILY_NUMBERS, job_queries
+
+PAPER_ARTIFACT = "Figure 11 (JOB end-to-end comparison)"
 
 #: The algorithms shown in Figure 11, in the paper's order.
 DEFAULT_ALGORITHMS = (
@@ -28,20 +31,22 @@ FAST_ALGORITHMS = (
 )
 
 
+@experiment(artifact=PAPER_ARTIFACT, shard_param="families",
+            shard_universe=JOB_FAMILY_NUMBERS)
 def run(scale: float = 1.0, families: list[int] | None = None,
         algorithms: tuple[str, ...] = FAST_ALGORITHMS,
         index_configs: tuple[IndexConfig, ...] = (IndexConfig.PK_ONLY,
                                                   IndexConfig.PK_FK),
         timeout_seconds: float = 30.0,
-        verbose: bool = True) -> dict[str, dict[str, WorkloadResult]]:
+        verbose: bool = True) -> ExperimentResult:
     """Run the Figure 11 comparison.
 
-    Returns ``{index_config_name: {algorithm: WorkloadResult}}``.
+    ``result.data`` maps ``{index_config_name: {algorithm: WorkloadResult}}``.
     """
     queries = job_queries(families=families)
     results: dict[str, dict[str, WorkloadResult]] = {}
     for index_config in index_configs:
-        database = build_imdb_database(scale=scale, index_config=index_config)
+        database = dbcache.build("imdb", scale=scale, index_config=index_config)
         config = HarnessConfig(timeout_seconds=timeout_seconds)
         per_algorithm: dict[str, WorkloadResult] = {}
         for algorithm in algorithms:
@@ -49,18 +54,15 @@ def run(scale: float = 1.0, families: list[int] | None = None,
                                                     config)
         results[index_config.value] = per_algorithm
 
+    outcome = grid_result(
+        name="figure11_job", artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "families": families,
+                "algorithms": list(algorithms),
+                "index_configs": [c.value for c in index_configs],
+                "timeout_seconds": timeout_seconds},
+        results=results,
+        time_header="JOB execution time",
+        title_format="Figure 11: JOB end-to-end time ({index} indexes)")
     if verbose:
-        for index_name, per_algorithm in results.items():
-            rows = []
-            for algorithm, result in per_algorithm.items():
-                rows.append([
-                    algorithm,
-                    format_seconds(result.total_time),
-                    result.timeouts or "",
-                ])
-            rows.sort(key=lambda r: r[0])
-            print(format_table(
-                ["Algorithm", "JOB execution time", "Timeouts"], rows,
-                title=f"Figure 11: JOB end-to-end time ({index_name} indexes)"))
-            print()
-    return results
+        print(outcome.render())
+    return outcome

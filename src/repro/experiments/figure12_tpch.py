@@ -8,45 +8,57 @@ even where re-optimization cannot help.
 
 from __future__ import annotations
 
+from repro.bench.artifacts import ExperimentResult, grid_result
 from repro.bench.harness import HarnessConfig, run_workload
-from repro.bench.reporting import format_seconds, format_table
+from repro.experiments.registry import experiment
 from repro.report import WorkloadResult
 from repro.storage.database import IndexConfig
-from repro.workloads.tpch import build_tpch_database, tpch_queries
+from repro.workloads import dbcache
+from repro.workloads.tpch import TPCH_QUERY_NUMBERS, tpch_queries
+
+PAPER_ARTIFACT = "Figure 12 (TPC-H end-to-end)"
 
 #: Algorithms shown in Figure 12 (only those supporting non-SPJ queries).
 DEFAULT_ALGORITHMS = ("QuerySplit", "Default", "Reopt", "Pop", "IEF",
                       "Perron19", "FS", "OptRange")
 
 
-def run(scale: float = 1.0,
+@experiment(artifact=PAPER_ARTIFACT, shard_param="families",
+            shard_universe=TPCH_QUERY_NUMBERS)
+def run(scale: float = 1.0, families: list[int] | None = None,
         algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
         index_configs: tuple[IndexConfig, ...] = (IndexConfig.PK_ONLY,
                                                   IndexConfig.PK_FK),
         timeout_seconds: float = 60.0,
-        query_numbers: list[int] | None = None,
-        verbose: bool = True) -> dict[str, dict[str, WorkloadResult]]:
-    """Run the TPC-H comparison; returns ``{index_config: {algorithm: result}}``."""
+        verbose: bool = True) -> ExperimentResult:
+    """Run the TPC-H comparison.
+
+    ``families`` restricts to the given TPC-H query numbers (1..22);
+    ``result.data`` maps ``{index_config: {algorithm: WorkloadResult}}``.
+    """
     queries = tpch_queries()
-    if query_numbers is not None:
-        wanted = {f"tpch-q{n}" for n in query_numbers}
+    if families is not None:
+        wanted = {f"tpch-q{n}" for n in families}
         queries = [q for q in queries if q.name in wanted]
 
     results: dict[str, dict[str, WorkloadResult]] = {}
     for index_config in index_configs:
-        database = build_tpch_database(scale=scale, index_config=index_config)
+        database = dbcache.build("tpch", scale=scale, index_config=index_config)
         config = HarnessConfig(timeout_seconds=timeout_seconds)
         results[index_config.value] = {
             algorithm: run_workload(database, queries, algorithm, config)
             for algorithm in algorithms
         }
 
+    outcome = grid_result(
+        name="figure12_tpch", artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "families": families,
+                "algorithms": list(algorithms),
+                "index_configs": [c.value for c in index_configs],
+                "timeout_seconds": timeout_seconds},
+        results=results,
+        time_header="TPC-H execution time",
+        title_format="Figure 12: TPC-H end-to-end time ({index} indexes)")
     if verbose:
-        for index_name, per_algorithm in results.items():
-            rows = [[name, format_seconds(res.total_time), res.timeouts or ""]
-                    for name, res in per_algorithm.items()]
-            print(format_table(
-                ["Algorithm", "TPC-H execution time", "Timeouts"], rows,
-                title=f"Figure 12: TPC-H end-to-end time ({index_name} indexes)"))
-            print()
-    return results
+        print(outcome.render())
+    return outcome

@@ -6,39 +6,55 @@ segmented out and each SPJ island is executed by the algorithm under test.
 
 from __future__ import annotations
 
+from repro.bench.artifacts import ExperimentResult, grid_result
 from repro.bench.harness import HarnessConfig, run_workload
-from repro.bench.reporting import format_seconds, format_table
+from repro.experiments.registry import experiment
 from repro.report import WorkloadResult
 from repro.storage.database import IndexConfig
-from repro.workloads.dsb import build_dsb_database, dsb_nonspj_queries
+from repro.workloads import dbcache
+from repro.workloads.dsb import DSB_NONSPJ_NUMBERS, dsb_nonspj_queries
+
+PAPER_ARTIFACT = "Figure 14 (DSB non-SPJ queries)"
 
 DEFAULT_ALGORITHMS = ("QuerySplit", "Default", "Reopt", "Pop", "IEF",
                       "Perron19", "FS", "OptRange")
 
 
-def run(scale: float = 1.0,
+@experiment(artifact=PAPER_ARTIFACT, shard_param="families",
+            shard_universe=DSB_NONSPJ_NUMBERS)
+def run(scale: float = 1.0, families: list[int] | None = None,
         algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
         index_configs: tuple[IndexConfig, ...] = (IndexConfig.PK_ONLY,
                                                   IndexConfig.PK_FK),
         timeout_seconds: float = 60.0,
-        verbose: bool = True) -> dict[str, dict[str, WorkloadResult]]:
-    """Run the DSB non-SPJ comparison."""
+        verbose: bool = True) -> ExperimentResult:
+    """Run the DSB non-SPJ comparison.
+
+    ``families`` restricts to the given DSB non-SPJ query numbers (1..10);
+    ``result.data`` maps ``{index_config: {algorithm: WorkloadResult}}``.
+    """
     queries = dsb_nonspj_queries()
+    if families is not None:
+        wanted = {f"dsb-nonspj-{n}" for n in families}
+        queries = [q for q in queries if q.name in wanted]
     results: dict[str, dict[str, WorkloadResult]] = {}
     for index_config in index_configs:
-        database = build_dsb_database(scale=scale, index_config=index_config)
+        database = dbcache.build("dsb", scale=scale, index_config=index_config)
         config = HarnessConfig(timeout_seconds=timeout_seconds)
         results[index_config.value] = {
             algorithm: run_workload(database, queries, algorithm, config)
             for algorithm in algorithms
         }
 
+    outcome = grid_result(
+        name="figure14_dsb_nonspj", artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "families": families,
+                "algorithms": list(algorithms),
+                "index_configs": [c.value for c in index_configs],
+                "timeout_seconds": timeout_seconds},
+        results=results,
+        time_header="DSB non-SPJ execution time",
+        title_format="Figure 14: DSB non-SPJ queries ({index} indexes)")
     if verbose:
-        for index_name, per_algorithm in results.items():
-            rows = [[name, format_seconds(res.total_time), res.timeouts or ""]
-                    for name, res in per_algorithm.items()]
-            print(format_table(
-                ["Algorithm", "DSB non-SPJ execution time", "Timeouts"], rows,
-                title=f"Figure 14: DSB non-SPJ queries ({index_name} indexes)"))
-            print()
-    return results
+        print(outcome.render())
+    return outcome

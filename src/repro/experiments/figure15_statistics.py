@@ -10,21 +10,31 @@ relations, or mostly PK-FK joins whose estimation only needs row counts).
 
 from __future__ import annotations
 
+from repro.bench.artifacts import ExperimentResult, base_summary
 from repro.bench.harness import HarnessConfig, run_workload
 from repro.bench.reporting import format_seconds, format_table
+from repro.experiments.registry import experiment
 from repro.report import WorkloadResult
 from repro.reopt.registry import REOPT_ALGORITHMS
 from repro.storage.database import IndexConfig
-from repro.workloads.imdb import build_imdb_database
-from repro.workloads.job_queries import job_queries
+from repro.workloads import dbcache
+from repro.workloads.job_queries import JOB_FAMILY_NUMBERS, job_queries
+
+PAPER_ARTIFACT = "Figure 15 (statistics collection on/off)"
 
 
+@experiment(artifact=PAPER_ARTIFACT, shard_param="families",
+            shard_universe=JOB_FAMILY_NUMBERS)
 def run(scale: float = 1.0, families: list[int] | None = None,
         algorithms: tuple[str, ...] = REOPT_ALGORITHMS,
         timeout_seconds: float = 30.0,
-        verbose: bool = True) -> dict[tuple[str, bool], WorkloadResult]:
-    """Run each algorithm with and without statistics collection."""
-    database = build_imdb_database(scale=scale, index_config=IndexConfig.PK_FK)
+        verbose: bool = True) -> ExperimentResult:
+    """Run each algorithm with and without statistics collection.
+
+    ``result.data`` maps ``(algorithm, collect_statistics)`` to the
+    corresponding :class:`~repro.report.WorkloadResult`.
+    """
+    database = dbcache.build("imdb", scale=scale, index_config=IndexConfig.PK_FK)
     queries = job_queries(families=families)
 
     results: dict[tuple[str, bool], WorkloadResult] = {}
@@ -35,17 +45,31 @@ def run(scale: float = 1.0, families: list[int] | None = None,
             results[(algorithm, collect)] = run_workload(database, queries,
                                                          algorithm, config)
 
-    if verbose:
-        rows = []
-        for algorithm in algorithms:
-            with_stats = results[(algorithm, True)]
-            without = results[(algorithm, False)]
-            rows.append([
-                algorithm,
-                format_seconds(with_stats.total_time),
-                format_seconds(without.total_time),
-            ])
-        print(format_table(
+    rows = []
+    for algorithm in algorithms:
+        with_stats = results[(algorithm, True)]
+        without = results[(algorithm, False)]
+        rows.append([
+            algorithm,
+            format_seconds(with_stats.total_time),
+            format_seconds(without.total_time),
+        ])
+
+    workloads = {f"{alg}/{'stats' if collect else 'rowcount'}": res
+                 for (alg, collect), res in results.items()}
+    outcome = ExperimentResult(
+        name="figure15_statistics",
+        artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "families": families,
+                "algorithms": list(algorithms),
+                "timeout_seconds": timeout_seconds},
+        data=results,
+        workloads=workloads,
+        summary=base_summary(workloads),
+        tables=[format_table(
             ["Algorithm", "With statistics", "Row count only"], rows,
-            title="Figure 15: JOB time with and without runtime statistics"))
-    return results
+            title="Figure 15: JOB time with and without runtime statistics")],
+    )
+    if verbose:
+        print(outcome.render())
+    return outcome

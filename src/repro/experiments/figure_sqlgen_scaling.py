@@ -23,25 +23,31 @@ module fits the figure/table mapping.
 
 from __future__ import annotations
 
+from repro.bench.artifacts import ExperimentResult, base_summary
 from repro.bench.harness import HarnessConfig, run_generated
 from repro.bench.reporting import format_seconds, format_table
 from repro.executor.subplan_cache import SubplanCache
+from repro.experiments.registry import experiment
 from repro.report import WorkloadResult
 from repro.storage.database import IndexConfig
+from repro.workloads import dbcache
 from repro.workloads.sqlgen import (
     AggregateSamplerConfig,
     JoinSamplerConfig,
     PredicateSamplerConfig,
     RandomQueryGenerator,
 )
-from repro.workloads.tpch import build_tpch_database
+
+PAPER_ARTIFACT = "Generated-stream scaling (beyond the paper)"
 
 #: Policies compared by default (those supporting non-SPJ GROUP BY queries,
 #: matching the Figure 12/14 algorithm set minus the slowest baselines).
 DEFAULT_ALGORITHMS = ("QuerySplit", "Default", "Reopt", "Pop", "IEF", "Perron19")
 
 
-def run(scale: float = 0.25,
+@experiment(artifact=PAPER_ARTIFACT,
+            defaults={"stream_lengths": (10, 25), "join_depths": (2, 4)})
+def run(scale: float = 1.0,
         stream_lengths: tuple[int, ...] = (10, 25, 50),
         join_depths: tuple[int, ...] = (2, 4, 6),
         algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
@@ -50,16 +56,16 @@ def run(scale: float = 0.25,
         group_by_probability: float = 0.2,
         timeout_seconds: float = 30.0,
         measure_cache_overlap: bool = True,
-        verbose: bool = True) -> dict:
-    """Run the sweep; returns per-cell results and per-policy robustness.
+        verbose: bool = True) -> ExperimentResult:
+    """Run the sweep over stream length x join depth.
 
-    Returns ``{"cells": cells, "robustness": robustness}`` where ``cells``
-    maps ``(max_joins, n)`` to
+    ``result.data`` is ``{"cells": cells, "robustness": robustness}`` where
+    ``cells`` maps ``(max_joins, n)`` to
     ``{"results": {algorithm: WorkloadResult}, "cache_hit_rate": float}``
     and ``robustness`` maps each policy to its worst-case slowdown relative
     to the per-cell best.
     """
-    database = build_tpch_database(scale=scale, index_config=IndexConfig.PK_FK)
+    database = dbcache.build("tpch", scale=scale, index_config=IndexConfig.PK_FK)
     cells: dict = {}
     for max_joins in join_depths:
         generator = RandomQueryGenerator(
@@ -96,23 +102,49 @@ def run(scale: float = 0.25,
 
     robustness = _worst_case_slowdowns(cells, algorithms)
 
+    headers = (["depth", "queries"] + list(algorithms)
+               + ["timeouts", "cache hit rate"])
+    rows = []
+    for (max_joins, n), cell in cells.items():
+        timeouts = sum(r.timeouts for r in cell["results"].values())
+        rows.append([max_joins, n]
+                    + [format_seconds(cell["results"][a].total_time)
+                       for a in algorithms]
+                    + [timeouts or "", f"{cell['cache_hit_rate']:.1%}"])
+    rob_rows = [[a, f"{robustness[a]:.2f}x"] for a in algorithms]
+    tables = [
+        format_table(headers, rows,
+                     title="Generated-stream scaling (TPC-H schema, "
+                           f"seed {seed})"),
+        format_table(["Policy", "worst-case slowdown vs. best"], rob_rows,
+                     title="Out-of-suite robustness"),
+    ]
+
+    workloads = {f"d{max_joins}/n{n}/{algorithm}": res
+                 for (max_joins, n), cell in cells.items()
+                 for algorithm, res in cell["results"].items()}
+    summary = base_summary(workloads)
+    summary["robustness"] = robustness
+    summary["cache_hit_rates"] = {f"d{d}/n{n}": cell["cache_hit_rate"]
+                                  for (d, n), cell in cells.items()}
+    outcome = ExperimentResult(
+        name="figure_sqlgen_scaling",
+        artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "stream_lengths": list(stream_lengths),
+                "join_depths": list(join_depths),
+                "algorithms": list(algorithms), "seed": seed,
+                "fk_only": fk_only,
+                "group_by_probability": group_by_probability,
+                "timeout_seconds": timeout_seconds,
+                "measure_cache_overlap": measure_cache_overlap},
+        data={"cells": cells, "robustness": robustness},
+        workloads=workloads,
+        summary=summary,
+        tables=tables,
+    )
     if verbose:
-        headers = (["depth", "queries"] + list(algorithms)
-                   + ["timeouts", "cache hit rate"])
-        rows = []
-        for (max_joins, n), cell in cells.items():
-            timeouts = sum(r.timeouts for r in cell["results"].values())
-            rows.append([max_joins, n]
-                        + [format_seconds(cell["results"][a].total_time)
-                           for a in algorithms]
-                        + [timeouts or "", f"{cell['cache_hit_rate']:.1%}"])
-        print(format_table(headers, rows,
-                           title="Generated-stream scaling (TPC-H schema, "
-                                 f"seed {seed})"))
-        rob_rows = [[a, f"{robustness[a]:.2f}x"] for a in algorithms]
-        print(format_table(["Policy", "worst-case slowdown vs. best"], rob_rows,
-                           title="Out-of-suite robustness"))
-    return {"cells": cells, "robustness": robustness}
+        print(outcome.render())
+    return outcome
 
 
 def _worst_case_slowdowns(cells: dict, algorithms: tuple[str, ...]) -> dict[str, float]:

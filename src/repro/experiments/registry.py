@@ -1,0 +1,99 @@
+"""Decorator-based experiment registry.
+
+Every experiment module registers its ``run()`` function with the
+:func:`experiment` decorator, declaring the paper artifact it reproduces,
+optional CLI default knobs, and — when the experiment is embarrassingly
+parallel over a query-family knob — which parameter the CLI runner may
+shard across worker processes.
+
+The registry is what makes ``python -m repro.cli list / run / report``
+(:mod:`repro.cli`) possible without hand-maintained experiment lists:
+:func:`load_all` imports every module under :mod:`repro.experiments` once,
+the decorators populate :data:`REGISTRY` as a side effect, and
+``tools/check_docs.py`` cross-checks the registry against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+#: Registered experiments, keyed by name (== the module's basename).
+REGISTRY: dict[str, "ExperimentSpec"] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registration record of one experiment module."""
+
+    #: Registry name; by convention the module basename (``figure11_job``).
+    name: str
+    #: Paper artifact the experiment reproduces (``"Figure 11 (...)"``).
+    artifact: str
+    #: Fully qualified module the ``run()`` lives in.
+    module: str
+    #: The experiment's ``run()`` function (returns an ``ExperimentResult``).
+    runner: Callable[..., Any]
+    #: Knob overrides the CLI applies by default (on top of ``run()``'s own
+    #: defaults); explicit CLI flags override these in turn.
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    #: Name of the list-valued parameter the CLI may shard across worker
+    #: processes (``"families"``), or ``None`` when the experiment must run
+    #: as a single unit (its summary is not reconstructible from merged
+    #: per-query records).
+    shard_param: str | None = None
+    #: Full universe of shard values used when the caller does not restrict
+    #: the parameter explicitly.
+    shard_universe: tuple[Any, ...] | None = None
+
+    def shard_values(self, requested: Sequence[Any] | None) -> list[Any] | None:
+        """The shard values a parallel run fans out over (None = unshardable)."""
+        if self.shard_param is None:
+            return None
+        if requested is not None:
+            return list(requested)
+        return list(self.shard_universe) if self.shard_universe else None
+
+
+def experiment(*, artifact: str, defaults: Mapping[str, Any] | None = None,
+               shard_param: str | None = None,
+               shard_universe: Sequence[Any] | None = None,
+               name: str | None = None) -> Callable:
+    """Register the decorated ``run()`` function as an experiment."""
+    def decorate(runner: Callable) -> Callable:
+        experiment_name = name or runner.__module__.rsplit(".", 1)[-1]
+        spec = ExperimentSpec(
+            name=experiment_name,
+            artifact=artifact,
+            module=runner.__module__,
+            runner=runner,
+            defaults=dict(defaults or {}),
+            shard_param=shard_param,
+            shard_universe=tuple(shard_universe) if shard_universe else None,
+        )
+        REGISTRY[experiment_name] = spec
+        runner.experiment_spec = spec
+        return runner
+    return decorate
+
+
+def load_all() -> dict[str, ExperimentSpec]:
+    """Import every experiment module and return the populated registry."""
+    package = importlib.import_module("repro.experiments")
+    for info in pkgutil.iter_modules(package.__path__):
+        if info.name.startswith("_") or info.name == "registry":
+            continue
+        importlib.import_module(f"repro.experiments.{info.name}")
+    return dict(REGISTRY)
+
+
+def get(name: str) -> ExperimentSpec:
+    """Look up one experiment, loading the registry on first use."""
+    if name not in REGISTRY:
+        load_all()
+    if name not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY)) or "<none>"
+        raise KeyError(f"unknown experiment {name!r}; registered: {known}")
+    return REGISTRY[name]

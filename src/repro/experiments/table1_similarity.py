@@ -11,22 +11,27 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.bench.artifacts import ExperimentResult
+from repro.bench.reporting import format_table
+from repro.experiments.registry import experiment
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.oracle import OracleCardinalityEstimator, TrueCardinalityOracle
 from repro.plan.similarity import plan_similarity, similarity_bucket
 from repro.storage.database import IndexConfig
-from repro.workloads.imdb import build_imdb_database
+from repro.workloads import dbcache
 from repro.workloads.job_queries import job_queries
-from repro.bench.reporting import format_table
+
+PAPER_ARTIFACT = "Table 1 (initial vs. optimal plan similarity)"
 
 
+@experiment(artifact=PAPER_ARTIFACT)
 def run(scale: float = 1.0, families: list[int] | None = None,
-        verbose: bool = True) -> dict[str, float]:
+        verbose: bool = True) -> ExperimentResult:
     """Compute the similarity distribution (Table 1).
 
-    Returns a mapping ``{"0": ratio, "1": ratio, "2": ratio, ">2": ratio}``.
+    ``result.data`` maps ``{"0": ratio, "1": ratio, "2": ratio, ">2": ratio}``.
     """
-    database = build_imdb_database(scale=scale, index_config=IndexConfig.PK_FK)
+    database = dbcache.build("imdb", scale=scale, index_config=IndexConfig.PK_FK)
     queries = job_queries(families=families)
 
     default_optimizer = Optimizer(database)
@@ -45,9 +50,17 @@ def run(scale: float = 1.0, families: list[int] | None = None,
 
     total = sum(buckets.values())
     ratios = {key: buckets.get(key, 0) / total for key in ("0", "1", "2", ">2")}
+    rows = [[key, buckets.get(key, 0), f"{ratios[key] * 100:.0f}%"]
+            for key in ("0", "1", "2", ">2")]
+    result = ExperimentResult(
+        name="table1_similarity",
+        artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "families": families},
+        data=ratios,
+        summary={"ratios": ratios, "queries": total},
+        tables=[format_table(["Similarity", "Queries", "Ratio"], rows,
+                             title="Table 1: initial vs. optimal plan similarity")],
+    )
     if verbose:
-        rows = [[key, buckets.get(key, 0), f"{ratios[key] * 100:.0f}%"]
-                for key in ("0", "1", "2", ">2")]
-        print(format_table(["Similarity", "Queries", "Ratio"], rows,
-                           title="Table 1: initial vs. optimal plan similarity"))
-    return ratios
+        print(result.render())
+    return result

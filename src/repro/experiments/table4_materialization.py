@@ -10,44 +10,69 @@ over-conservative trigger materializes less).
 
 from __future__ import annotations
 
+from repro.bench.artifacts import ExperimentResult, base_summary
 from repro.bench.harness import HarnessConfig, run_workload
 from repro.bench.reporting import format_table
+from repro.experiments.registry import experiment
 from repro.report import WorkloadResult
 from repro.reopt.registry import REOPT_ALGORITHMS
 from repro.storage.database import IndexConfig
-from repro.workloads.imdb import build_imdb_database
-from repro.workloads.job_queries import job_queries
+from repro.workloads import dbcache
+from repro.workloads.job_queries import JOB_FAMILY_NUMBERS, job_queries
+
+PAPER_ARTIFACT = "Table 4 (materialization frequency and memory)"
 
 MB = 1024.0 * 1024.0
 
 
+@experiment(artifact=PAPER_ARTIFACT, shard_param="families",
+            shard_universe=JOB_FAMILY_NUMBERS)
 def run(scale: float = 1.0, families: list[int] | None = None,
         algorithms: tuple[str, ...] = REOPT_ALGORITHMS,
         timeout_seconds: float = 30.0,
-        verbose: bool = True) -> dict[str, dict[str, float]]:
-    """Compute the Table 4 metrics; returns per-algorithm metric dicts."""
-    database = build_imdb_database(scale=scale, index_config=IndexConfig.PK_FK)
+        verbose: bool = True) -> ExperimentResult:
+    """Compute the Table 4 metrics.
+
+    ``result.data`` maps each algorithm to its metric dict (average memory
+    per subquery, materialization frequency, total memory per query).
+    """
+    database = dbcache.build("imdb", scale=scale, index_config=IndexConfig.PK_FK)
     queries = job_queries(families=families)
     config = HarnessConfig(timeout_seconds=timeout_seconds)
 
+    workloads: dict[str, WorkloadResult] = {}
     metrics: dict[str, dict[str, float]] = {}
     for algorithm in algorithms:
         result = run_workload(database, queries, algorithm, config)
+        workloads[algorithm] = result
         metrics[algorithm] = _metrics(result)
 
-    if verbose:
-        rows = [
-            [name,
-             f"{m['avg_mem_per_subquery_mb']:.2f}",
-             f"{m['avg_materializations_per_query']:.2f}",
-             f"{m['total_mem_per_query_mb']:.2f}"]
-            for name, m in metrics.items()
-        ]
-        print(format_table(
+    rows = [
+        [name,
+         f"{m['avg_mem_per_subquery_mb']:.2f}",
+         f"{m['avg_materializations_per_query']:.2f}",
+         f"{m['total_mem_per_query_mb']:.2f}"]
+        for name, m in metrics.items()
+    ]
+    summary = base_summary(workloads)
+    summary["metrics"] = metrics
+    outcome = ExperimentResult(
+        name="table4_materialization",
+        artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "families": families,
+                "algorithms": list(algorithms),
+                "timeout_seconds": timeout_seconds},
+        data=metrics,
+        workloads=workloads,
+        summary=summary,
+        tables=[format_table(
             ["Algorithm", "Avg mem / subquery (MB)", "Avg mat. freq / query",
              "Total mem / query (MB)"],
-            rows, title="Table 4: materialization frequency and memory usage"))
-    return metrics
+            rows, title="Table 4: materialization frequency and memory usage")],
+    )
+    if verbose:
+        print(outcome.render())
+    return outcome
 
 
 def _metrics(result: WorkloadResult) -> dict[str, float]:

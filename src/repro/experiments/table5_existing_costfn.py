@@ -13,9 +13,10 @@ sub-plan (estimated cost times estimated cardinality, etc.).
 
 from __future__ import annotations
 
-from repro.bench.harness import HarnessConfig
+from repro.bench.artifacts import ExperimentResult, base_summary
 from repro.bench.reporting import format_seconds, format_table
 from repro.core.ssa import SSA_FUNCTIONS, CostFunction
+from repro.experiments.registry import experiment
 from repro.optimizer.optimizer import Optimizer
 from repro.plan.physical import JoinNode, PhysicalPlan
 from repro.report import WorkloadResult
@@ -24,9 +25,11 @@ from repro.reopt.ief import IEFBaseline
 from repro.reopt.kabra import ReoptBaseline
 from repro.reopt.perron import Perron19Baseline
 from repro.reopt.pop import PopBaseline
-from repro.storage.database import Database, IndexConfig
-from repro.workloads.imdb import build_imdb_database
-from repro.workloads.job_queries import job_queries
+from repro.storage.database import IndexConfig
+from repro.workloads import dbcache
+from repro.workloads.job_queries import JOB_FAMILY_NUMBERS, job_queries
+
+PAPER_ARTIFACT = "Table 5 (existing re-optimizers with Phi cost functions)"
 
 _BASELINES = {
     "Reopt": ReoptBaseline,
@@ -54,13 +57,20 @@ def _with_phi_ordering(baseline_cls, cost_function: CostFunction):
     return PhiOrderedBaseline
 
 
+@experiment(artifact=PAPER_ARTIFACT, shard_param="families",
+            shard_universe=JOB_FAMILY_NUMBERS)
 def run(scale: float = 1.0, families: list[int] | None = None,
         algorithms: tuple[str, ...] = tuple(_BASELINES),
         cost_functions: tuple[CostFunction, ...] = COST_FUNCTIONS,
         timeout_seconds: float = 30.0,
-        verbose: bool = True) -> dict[tuple[str, str], WorkloadResult]:
-    """Run every baseline x cost-function combination (plus the original)."""
-    database = build_imdb_database(scale=scale, index_config=IndexConfig.PK_FK)
+        verbose: bool = True) -> ExperimentResult:
+    """Run every baseline x cost-function combination (plus the original).
+
+    ``result.data`` maps ``(algorithm, variant)`` to a
+    :class:`~repro.report.WorkloadResult` where ``variant`` is
+    ``"original"`` or a Phi name.
+    """
+    database = dbcache.build("imdb", scale=scale, index_config=IndexConfig.PK_FK)
     queries = job_queries(families=families)
     config = BaselineConfig(timeout_seconds=timeout_seconds)
 
@@ -78,14 +88,28 @@ def run(scale: float = 1.0, families: list[int] | None = None,
                 result.reports.append(runner.run(query))
             results[(algorithm, variant_name)] = result
 
+    headers = ["SSA \\ Algorithm"] + list(algorithms)
+    rows = []
+    for variant in [cf.value for cf in cost_functions] + ["original"]:
+        row = [variant]
+        for algorithm in algorithms:
+            row.append(format_seconds(results[(algorithm, variant)].total_time))
+        rows.append(row)
+
+    workloads = {f"{alg}/{variant}": res for (alg, variant), res in results.items()}
+    outcome = ExperimentResult(
+        name="table5_existing_costfn",
+        artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "families": families,
+                "algorithms": list(algorithms),
+                "cost_functions": [c.value for c in cost_functions],
+                "timeout_seconds": timeout_seconds},
+        data=results,
+        workloads=workloads,
+        summary=base_summary(workloads),
+        tables=[format_table(headers, rows,
+                             title="Table 5: existing re-optimizers with Phi orderings")],
+    )
     if verbose:
-        headers = ["SSA \\ Algorithm"] + list(algorithms)
-        rows = []
-        for variant in [cf.value for cf in cost_functions] + ["original"]:
-            row = [variant]
-            for algorithm in algorithms:
-                row.append(format_seconds(results[(algorithm, variant)].total_time))
-            rows.append(row)
-        print(format_table(headers, rows,
-                           title="Table 5: existing re-optimizers with Phi orderings"))
-    return results
+        print(outcome.render())
+    return outcome

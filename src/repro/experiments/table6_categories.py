@@ -22,12 +22,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.bench.artifacts import ExperimentResult, base_summary
 from repro.bench.harness import HarnessConfig, run_workload
 from repro.bench.reporting import format_table
+from repro.experiments.registry import experiment
 from repro.report import ExecutionReport, WorkloadResult
 from repro.storage.database import IndexConfig
-from repro.workloads.imdb import build_imdb_database
+from repro.workloads import dbcache
 from repro.workloads.job_queries import job_queries
+
+PAPER_ARTIFACT = "Table 6 + Figures 16-19 (per-query categories and timelines)"
 
 #: Factor by which an alternative's largest intermediate must exceed
 #: QuerySplit's for the query to count as "Avoided Large Join".
@@ -100,12 +104,16 @@ def classify(querysplit: ExecutionReport, alternatives: dict[str, ExecutionRepor
     return "Avoided Large Join", effect
 
 
+@experiment(artifact=PAPER_ARTIFACT)
 def run(scale: float = 1.0, families: list[int] | None = None,
         alternatives: tuple[str, ...] = DEFAULT_ALTERNATIVES,
         timeout_seconds: float = 30.0,
-        verbose: bool = True) -> CategoryResult:
-    """Classify every JOB query (Table 6) and collect timelines (Fig. 16-19)."""
-    database = build_imdb_database(scale=scale, index_config=IndexConfig.PK_FK)
+        verbose: bool = True) -> ExperimentResult:
+    """Classify every JOB query (Table 6) and collect timelines (Fig. 16-19).
+
+    ``result.data`` is the :class:`CategoryResult`.
+    """
+    database = dbcache.build("imdb", scale=scale, index_config=IndexConfig.PK_FK)
     queries = job_queries(families=families)
     config = HarnessConfig(timeout_seconds=timeout_seconds)
 
@@ -114,26 +122,41 @@ def run(scale: float = 1.0, families: list[int] | None = None,
         for name in ("QuerySplit",) + tuple(alternatives)
     }
 
-    outcome = CategoryResult()
+    result = CategoryResult()
     for query in queries:
         qs_report = runs["QuerySplit"].report_for(query.name)
         alt_reports = {name: runs[name].report_for(query.name)
                        for name in alternatives}
         category, effect = classify(qs_report, alt_reports)
-        outcome.categories[query.name] = category
-        outcome.performance_effect[query.name] = effect
-        outcome.timelines[query.name] = {
+        result.categories[query.name] = category
+        result.performance_effect[query.name] = effect
+        result.timelines[query.name] = {
             name: runs[name].report_for(query.name).timeline()
             for name in runs
         }
 
-    if verbose:
-        freq = outcome.frequency()
-        effects = outcome.average_effect()
-        total = sum(freq.values())
-        rows = [[category, f"{freq[category]} / {total}",
-                 f"{effects[category] * 100:.1f}%"] for category in CATEGORIES]
-        print(format_table(
+    freq = result.frequency()
+    effects = result.average_effect()
+    total = sum(freq.values())
+    rows = [[category, f"{freq[category]} / {total}",
+             f"{effects[category] * 100:.1f}%"] for category in CATEGORIES]
+
+    summary = base_summary(runs)
+    summary.update(frequency=freq, average_effect=effects,
+                   categories=result.categories)
+    outcome = ExperimentResult(
+        name="table6_categories",
+        artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "families": families,
+                "alternatives": list(alternatives),
+                "timeout_seconds": timeout_seconds},
+        data=result,
+        workloads=runs,
+        summary=summary,
+        tables=[format_table(
             ["Category", "Frequency", "Avg perf. effect"], rows,
-            title="Table 6: per-query categories (QuerySplit vs best alternative)"))
+            title="Table 6: per-query categories (QuerySplit vs best alternative)")],
+    )
+    if verbose:
+        print(outcome.render())
     return outcome

@@ -1,0 +1,64 @@
+"""Process-local cache of constructed benchmark databases.
+
+Building a synthetic database (data generation + ANALYZE) dominates the
+cost of a small-scale experiment run.  Within one experiment module the
+database is already built once and reused across algorithms; this cache
+extends that reuse across *experiments sharing a worker process* — exactly
+the situation the CLI runner (:mod:`repro.cli`) creates when it fans
+experiment shards over a ``multiprocessing`` pool and several shards with
+the same (workload, scale, index config) land on the same worker.
+
+The cache is opt-in (:func:`enable`) because a long-lived interactive
+process should not silently pin every database it ever built.  Reuse is
+safe for the same reason per-experiment reuse already is: algorithm runs
+treat the :class:`~repro.storage.database.Database` as read-only and keep
+materialized temporaries private.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.storage.database import Database, IndexConfig
+
+_BUILDERS: dict[str, Callable[..., Database]] = {}
+_CACHE: dict[tuple[str, float, IndexConfig], Database] = {}
+_ENABLED = False
+
+
+def _builders() -> dict[str, Callable[..., Database]]:
+    if not _BUILDERS:
+        from repro.workloads.dsb import build_dsb_database
+        from repro.workloads.imdb import build_imdb_database
+        from repro.workloads.tpch import build_tpch_database
+        _BUILDERS.update(imdb=build_imdb_database, tpch=build_tpch_database,
+                         dsb=build_dsb_database)
+    return _BUILDERS
+
+
+def enable() -> None:
+    """Turn on caching for this process (the pool-worker initializer)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn caching off and drop every cached database."""
+    global _ENABLED
+    _ENABLED = False
+    _CACHE.clear()
+
+
+def build(workload: str, scale: float, index_config: IndexConfig) -> Database:
+    """Build (or reuse) the ``workload`` database at ``scale``.
+
+    ``workload`` is one of ``"imdb"``, ``"tpch"``, ``"dsb"``.  Without
+    :func:`enable` this is a plain passthrough to the underlying builder.
+    """
+    builder = _builders()[workload]
+    if not _ENABLED:
+        return builder(scale=scale, index_config=index_config)
+    key = (workload, float(scale), index_config)
+    if key not in _CACHE:
+        _CACHE[key] = builder(scale=scale, index_config=index_config)
+    return _CACHE[key]

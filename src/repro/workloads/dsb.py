@@ -299,6 +299,11 @@ def build_dsb_database(scale: float = 1.0,
 # ----------------------------------------------------------------------
 # Queries
 # ----------------------------------------------------------------------
+#: Valid DSB query numbers (``families`` in the experiment CLI).
+DSB_SPJ_NUMBERS: tuple[int, ...] = tuple(range(1, 16))
+DSB_NONSPJ_NUMBERS: tuple[int, ...] = tuple(range(1, 11))
+
+
 def dsb_spj_queries() -> list[Query]:
     """The 15 SPJ queries of the DSB reproduction (Figure 13)."""
     specs = [

@@ -544,6 +544,11 @@ _FAMILIES: list[dict] = [
 _VARIANT_LETTERS = "abcdefgh"
 
 
+#: The valid ``families`` numbers (1..len(_FAMILIES)); the experiment
+#: registry shards parallel runs across this universe.
+JOB_FAMILY_NUMBERS: tuple[int, ...] = tuple(range(1, len(_FAMILIES) + 1))
+
+
 def job_queries(families: list[int] | None = None) -> list[Query]:
     """Build the JOB-style query catalogue.
 

@@ -213,6 +213,10 @@ def build_tpch_database(scale: float = 1.0,
     return db
 
 
+#: The valid TPC-H query numbers (``families`` in the experiment CLI).
+TPCH_QUERY_NUMBERS: tuple[int, ...] = tuple(range(1, 23))
+
+
 def tpch_queries() -> list[Query]:
     """The 22 TPC-H query skeletons (all non-SPJ: aggregation over SPJ blocks)."""
     queries: list[Query] = []

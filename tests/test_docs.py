@@ -28,6 +28,14 @@ def test_all_markdown_references_resolve():
         + ", ".join(f"{path.name} -> {ref}" for path, ref in missing))
 
 
+def test_registered_experiments_documented_in_experiments_md():
+    check_docs = _load_check_docs()
+    undocumented = check_docs.find_undocumented_experiments(REPO_ROOT)
+    assert undocumented == [], (
+        "experiments registered but missing from EXPERIMENTS.md: "
+        + ", ".join(undocumented))
+
+
 def test_core_documents_exist():
     for name in ("README.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "ROADMAP.md"):
         assert (REPO_ROOT / name).is_file(), f"{name} is missing"

@@ -24,7 +24,7 @@ FAMILIES = [2, 6, 9]
 
 
 def test_table1_similarity_ratios_sum_to_one():
-    ratios = table1_similarity.run(scale=SCALE, families=FAMILIES, verbose=False)
+    ratios = table1_similarity.run(scale=SCALE, families=FAMILIES, verbose=False).data
     assert set(ratios) == {"0", "1", "2", ">2"}
     assert sum(ratios.values()) == pytest.approx(1.0)
 
@@ -34,7 +34,7 @@ def test_table3_policy_grid():
         scale=SCALE, families=[6],
         qsa_strategies=(QSAStrategy.FK_CENTER, QSAStrategy.MIN_SUBQUERY),
         cost_functions=(CostFunction.PHI1, CostFunction.PHI4),
-        verbose=False)
+        verbose=False).data
     assert len(results) == 4
     assert all(result.total_time >= 0 for result in results.values())
     best = table3_policies.best_combination(results)
@@ -45,7 +45,7 @@ def test_figure10_robustness_sweep():
     results = figure10_robustness.run(
         scale=SCALE, families=[6], sigmas=(0.5, 4.0),
         policies=((QSAStrategy.FK_CENTER, CostFunction.PHI4),),
-        verbose=False)
+        verbose=False).data
     assert len(results) == 2
 
 
@@ -53,7 +53,7 @@ def test_figure11_job_comparison():
     results = figure11_job.run(
         scale=SCALE, families=FAMILIES,
         algorithms=("QuerySplit", "Default", "Pop"),
-        verbose=False)
+        verbose=False).data
     assert set(results) == {"pk", "pk+fk"}
     for per_algorithm in results.values():
         assert set(per_algorithm) == {"QuerySplit", "Default", "Pop"}
@@ -62,7 +62,7 @@ def test_figure11_job_comparison():
 def test_table4_materialization_metrics():
     metrics = table4_materialization.run(
         scale=SCALE, families=FAMILIES,
-        algorithms=("QuerySplit", "Pop"), verbose=False)
+        algorithms=("QuerySplit", "Pop"), verbose=False).data
     assert metrics["Pop"]["avg_materializations_per_query"] >= \
         metrics["QuerySplit"]["avg_materializations_per_query"] - 1e-9
     assert metrics["QuerySplit"]["avg_mem_per_subquery_mb"] >= 0
@@ -71,30 +71,30 @@ def test_table4_materialization_metrics():
 def test_figure12_tpch():
     results = figure12_tpch.run(
         scale=0.1, algorithms=("QuerySplit", "Default"),
-        query_numbers=[1, 3, 5, 10], verbose=False)
+        families=[1, 3, 5, 10], verbose=False).data
     for per_algorithm in results.values():
         assert per_algorithm["QuerySplit"].timeouts == 0
 
 
 def test_figure13_and_14_dsb():
     spj = figure13_dsb_spj.run(scale=0.1, algorithms=("QuerySplit", "Default"),
-                               verbose=False)
+                               verbose=False).data
     nonspj = figure14_dsb_nonspj.run(scale=0.1, algorithms=("QuerySplit", "Default"),
-                                     verbose=False)
+                                     verbose=False).data
     assert set(spj) == set(nonspj) == {"pk", "pk+fk"}
 
 
 def test_figure15_statistics_toggle():
     results = figure15_statistics.run(
         scale=SCALE, families=[6], algorithms=("QuerySplit", "Perron19"),
-        verbose=False)
+        verbose=False).data
     assert ("QuerySplit", True) in results and ("QuerySplit", False) in results
 
 
 def test_table5_existing_costfn():
     results = table5_existing_costfn.run(
         scale=SCALE, families=[6], algorithms=("Pop",),
-        cost_functions=(CostFunction.PHI4,), verbose=False)
+        cost_functions=(CostFunction.PHI4,), verbose=False).data
     assert ("Pop", "original") in results
     assert ("Pop", "phi4") in results
 
@@ -103,7 +103,7 @@ def test_figure_sqlgen_scaling():
     outcome = figure_sqlgen_scaling.run(
         scale=0.1, stream_lengths=(5,), join_depths=(2, 3),
         algorithms=("QuerySplit", "Default"), timeout_seconds=10.0,
-        verbose=False)
+        verbose=False).data
     cells, robustness = outcome["cells"], outcome["robustness"]
     assert set(cells) == {(2, 5), (3, 5)}
     for cell in cells.values():
@@ -122,7 +122,7 @@ def test_figure_sqlgen_scaling():
 def test_table6_categories():
     outcome = table6_categories.run(scale=SCALE, families=FAMILIES,
                                     alternatives=("Pop", "Perron19"),
-                                    verbose=False)
+                                    verbose=False).data
     freq = outcome.frequency()
     assert sum(freq.values()) == len(outcome.categories)
     assert set(freq) == set(table6_categories.CATEGORIES)

@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
-"""Docs-consistency check: every referenced ``*.md`` file must exist.
+"""Docs-consistency check: references resolve, experiments are documented.
 
-Scans the repository's Python sources (docstrings and comments included --
-the whole file text is searched) and Markdown documents for references to
-Markdown files, and fails if a referenced document is missing from the
-repository.  This keeps pointers like "see EXPERIMENTS.md" in
-``src/repro/bench/harness.py`` from dangling when documents are renamed.
+Two checks:
+
+1. Scans the repository's Python sources (docstrings and comments included
+   -- the whole file text is searched) and Markdown documents for
+   references to Markdown files, and fails if a referenced document is
+   missing from the repository.  This keeps pointers like "see
+   EXPERIMENTS.md" in ``src/repro/bench/harness.py`` from dangling when
+   documents are renamed.
+2. Loads the experiment registry (``repro.experiments.registry``) and fails
+   if any registered experiment is not mentioned in EXPERIMENTS.md, so the
+   CLI catalogue can never drift from the documentation.
 
 Usage::
 
     python tools/check_docs.py [repo_root]
 
-Exits non-zero listing every dangling reference.
+Exits non-zero listing every dangling reference / undocumented experiment.
 """
 
 from __future__ import annotations
@@ -59,15 +65,47 @@ def find_missing_references(root: Path) -> list[tuple[Path, str]]:
     return missing
 
 
+def find_undocumented_experiments(root: Path) -> list[str]:
+    """Registered experiment names that EXPERIMENTS.md never mentions.
+
+    Loading the registry imports the ``repro`` package (and therefore
+    numpy); in a bare environment the check reports that clearly instead
+    of dying with a traceback — and still fails, because a green docs
+    check must mean the registry was actually compared.
+    """
+    src = str(root / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    try:
+        from repro.experiments import registry
+        specs = registry.load_all()
+    except ImportError as exc:
+        return [f"<registry check could not run: {exc}>"]
+    experiments_md = (root / "EXPERIMENTS.md")
+    text = experiments_md.read_text(encoding="utf-8") if experiments_md.is_file() else ""
+    return sorted(name for name in specs if name not in text)
+
+
 def main(argv: list[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    failures = 0
     missing = find_missing_references(root)
     if missing:
+        failures += 1
         print(f"docs check FAILED: {len(missing)} dangling Markdown reference(s):")
         for path, reference in missing:
             print(f"  {path.relative_to(root)}: {reference!r} does not exist")
+    undocumented = find_undocumented_experiments(root)
+    if undocumented:
+        failures += 1
+        print(f"docs check FAILED: {len(undocumented)} registered experiment(s) "
+              "missing from EXPERIMENTS.md:")
+        for name in undocumented:
+            print(f"  {name}")
+    if failures:
         return 1
-    print(f"docs check OK: all Markdown references under {root} resolve")
+    print(f"docs check OK: all Markdown references under {root} resolve and "
+          "every registered experiment is documented in EXPERIMENTS.md")
     return 0
 
 
