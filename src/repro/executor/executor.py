@@ -81,6 +81,17 @@ class ExecutionResult:
     #: Bytes of column data / selection vectors materialized while executing
     #: (the quantity the late-materialization refactor minimizes).
     materialized_bytes: int = 0
+    #: Zone-map pruning accounting across every filtered scan of the plan:
+    #: storage blocks considered, and blocks skipped without reading data.
+    scan_blocks_total: int = 0
+    scan_blocks_pruned: int = 0
+
+    @property
+    def scan_pruning_ratio(self) -> float:
+        """Fraction of considered storage blocks the zone maps pruned."""
+        if self.scan_blocks_total == 0:
+            return 0.0
+        return self.scan_blocks_pruned / self.scan_blocks_total
 
     @property
     def num_rows(self) -> int:
@@ -158,7 +169,9 @@ class Executor:
         wall = time.perf_counter() - start
         return ExecutionResult(table=table, join_rows=join_rows, wall_time=wall,
                                operator_times=dict(ctx.operator_times),
-                               materialized_bytes=stats.gathered_bytes)
+                               materialized_bytes=stats.gathered_bytes,
+                               scan_blocks_total=ctx.scan_blocks_total,
+                               scan_blocks_pruned=ctx.scan_blocks_pruned)
 
     # ------------------------------------------------------------------
     # Node evaluation

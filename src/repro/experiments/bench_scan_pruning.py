@@ -1,0 +1,197 @@
+"""Zone-map scan-pruning microbenchmark (beyond the paper).
+
+The paper's experiments all run on top of full-column scans; this
+storage-level microbenchmark quantifies what the block-partitioned layer
+(:mod:`repro.storage.zonemaps`) buys on the scan hot path.  It sweeps
+**block size x predicate selectivity** over a synthetic events table whose
+timestamp column is *clustered* (sorted, the common case for append-only
+fact tables) and measures, for every cell:
+
+* the scan wall-clock time (best of ``repeats`` runs of a COUNT(*) plan
+  through the real executor);
+* the zone-map pruning ratio (blocks skipped / blocks considered);
+* the speedup against the identical scan with pruning disabled
+  (``block_size = 0``), which is the pre-zone-map code path.
+
+Every timed cell also cross-checks its row count against the unpruned
+scan's, so a conservativeness bug can never hide behind a good speedup.
+The ``--block-size`` CLI knob maps onto this module's ``block_sizes``
+sweep default; see EXPERIMENTS.md for the artifact layout.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.artifacts import ExperimentResult
+from repro.bench.reporting import format_table
+from repro.catalog.schema import Column, Schema, TableSchema
+from repro.catalog.types import DataType
+from repro.executor.executor import Executor
+from repro.experiments.registry import experiment
+from repro.plan.expressions import Between, ColumnRef
+from repro.plan.logical import AggregateSpec, RelationRef
+from repro.plan.physical import PhysicalPlan, ScanNode
+from repro.storage.database import Database, IndexConfig
+from repro.storage.table import DataTable
+
+PAPER_ARTIFACT = "Scan-pruning microbenchmark (beyond the paper)"
+
+EVENTS_SCHEMA = Schema([
+    TableSchema("events", [
+        Column("e_id", DataType.INT),
+        Column("e_ts", DataType.INT),
+        Column("e_value", DataType.FLOAT),
+        Column("e_category", DataType.STRING),
+    ], primary_key="e_id"),
+])
+
+_CATEGORIES = ["click", "view", "purchase", "refund", "signup"]
+
+
+def build_events_database(num_rows: int, block_size: int,
+                          seed: int = 13) -> Database:
+    """A clustered synthetic events table (``e_ts`` sorted, values random)."""
+    rng = np.random.default_rng(seed)
+    db = Database(EVENTS_SCHEMA, index_config=IndexConfig.PK_ONLY,
+                  block_size=block_size)
+    db.load_table(DataTable("events", {
+        "e_id": np.arange(num_rows, dtype=np.int64),
+        "e_ts": np.sort(rng.integers(0, 10 * max(num_rows, 1), num_rows)),
+        "e_value": rng.normal(100.0, 25.0, num_rows),
+        "e_category": rng.choice(np.array(_CATEGORIES, dtype=object), num_rows),
+    }), analyze=False)
+    return db
+
+
+def _scan_plan(low: int, high: int) -> PhysicalPlan:
+    relation = RelationRef.base("events", "events")
+    filters = (Between(ColumnRef("events", "e_ts"), low, high),)
+    return PhysicalPlan(
+        query_name=f"scan-{low}-{high}",
+        root=ScanNode(relation=relation, filters=filters),
+        aggregates=(AggregateSpec("count", None, "row_count"),),
+    )
+
+
+def _measure(database: Database, plan: PhysicalPlan, repeats: int):
+    """Best-of-``repeats`` execution: (best seconds, last ExecutionResult)."""
+    executor = Executor(database)
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = executor.execute(plan)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@experiment(artifact=PAPER_ARTIFACT,
+            defaults={"num_rows": 120_000, "repeats": 3})
+def run(scale: float = 1.0,
+        num_rows: int = 250_000,
+        block_sizes: tuple[int, ...] = (0, 1024, 4096, 16384),
+        selectivities: tuple[float, ...] = (0.001, 0.01, 0.1),
+        repeats: int = 5,
+        seed: int = 13,
+        block_size: int | None = None,
+        verbose: bool = True) -> ExperimentResult:
+    """Sweep block size x selectivity and report pruning ratio + speedup.
+
+    ``block_size`` (the CLI's ``--block-size``) adds one extra width to the
+    sweep.  ``result.data`` is ``{"grid": grid, "speedups": speedups}``:
+    ``grid`` maps ``(block_size, selectivity)`` to ``{"seconds", "rows",
+    "pruning_ratio", "blocks_total", "blocks_pruned"}`` and ``speedups``
+    maps the same keys (block_size > 0 only) to the time ratio against the
+    pruning-off baseline at the same selectivity.
+    """
+    rows = max(int(round(num_rows * scale)), 1_000)
+    if block_size is not None and block_size not in block_sizes:
+        block_sizes = tuple(block_sizes) + (block_size,)
+    if 0 not in block_sizes:
+        block_sizes = (0,) + tuple(block_sizes)
+    rng = np.random.default_rng(seed)
+
+    # One predicate window per selectivity, shared across all block sizes so
+    # every column of the sweep times the identical scan.
+    ts_max = 10 * rows
+    windows = {}
+    for selectivity in selectivities:
+        width = max(int(ts_max * selectivity), 1)
+        low = int(rng.integers(0, max(ts_max - width, 1)))
+        windows[selectivity] = (low, low + width)
+
+    # One database for the whole sweep: the data is identical across
+    # widths, only the zone maps are rebuilt per column of the grid.
+    database = build_events_database(rows, 0, seed=seed)
+    events = database.table("events")
+    grid: dict[tuple[int, float], dict] = {}
+    for width in block_sizes:
+        events.build_zone_maps(width)
+        for selectivity, (low, high) in windows.items():
+            seconds, result = _measure(database, _scan_plan(low, high), repeats)
+            grid[(width, selectivity)] = {
+                "seconds": seconds,
+                "rows": int(result.table.column("row_count")[0]),
+                "pruning_ratio": result.scan_pruning_ratio,
+                "blocks_total": result.scan_blocks_total,
+                "blocks_pruned": result.scan_blocks_pruned,
+            }
+
+    # Cross-check: pruning must never change the selected row count.
+    for (width, selectivity), cell in grid.items():
+        baseline = grid[(0, selectivity)]
+        if cell["rows"] != baseline["rows"]:
+            raise AssertionError(
+                f"pruned scan (block_size={width}, "
+                f"selectivity={selectivity}) selected {cell['rows']} rows, "
+                f"unpruned scan selected {baseline['rows']}")
+
+    speedups = {
+        (width, selectivity): grid[(0, selectivity)]["seconds"] / cell["seconds"]
+        for (width, selectivity), cell in grid.items()
+        if width != 0 and cell["seconds"] > 0
+    }
+
+    headers = ["block size", "selectivity", "rows", "pruned blocks",
+               "pruning ratio", "time", "speedup vs off"]
+    table_rows = []
+    for (width, selectivity), cell in sorted(grid.items()):
+        speedup = speedups.get((width, selectivity))
+        table_rows.append([
+            width or "off", f"{selectivity:.2%}", cell["rows"],
+            f"{cell['blocks_pruned']}/{cell['blocks_total']}" if width else "-",
+            f"{cell['pruning_ratio']:.1%}" if width else "-",
+            f"{cell['seconds'] * 1e3:.3f} ms",
+            f"{speedup:.2f}x" if speedup else "-",
+        ])
+    tables = [format_table(headers, table_rows,
+                           title=f"Zone-map scan pruning ({rows} clustered "
+                                 f"rows, best of {repeats})")]
+
+    selective = [v for (_, s), v in speedups.items() if s <= 0.01]
+    summary = {
+        "num_rows": rows,
+        "speedups": {f"{bs}/{s}": v for (bs, s), v in speedups.items()},
+        "pruning_ratios": {f"{bs}/{s}": cell["pruning_ratio"]
+                           for (bs, s), cell in grid.items() if bs},
+        "best_speedup_at_1pct": max(selective) if selective else None,
+    }
+    outcome = ExperimentResult(
+        name="bench_scan_pruning",
+        artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "num_rows": num_rows,
+                "block_sizes": list(block_sizes),
+                "selectivities": list(selectivities),
+                "repeats": repeats, "seed": seed,
+                "block_size": block_size},
+        data={"grid": grid, "speedups": speedups},
+        workloads={},
+        summary=summary,
+        tables=tables,
+    )
+    if verbose:
+        print(outcome.render())
+    return outcome

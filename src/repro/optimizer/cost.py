@@ -41,6 +41,10 @@ class CostParameters:
 class CostModel:
     """Computes operator and plan costs from estimated cardinalities."""
 
+    #: Rows per storage block assumed when charging zone-map checks and the
+    #: caller does not pass the table's actual block width.
+    zone_map_block_rows: float = 4096.0
+
     def __init__(self, params: CostParameters | None = None):
         self.params = params or CostParameters()
 
@@ -48,13 +52,32 @@ class CostModel:
     # Leaf operators
     # ------------------------------------------------------------------
     def scan_cost(self, table_rows: float, output_rows: float,
-                  num_filters: int = 0) -> float:
-        """Cost of a filtered sequential scan."""
+                  num_filters: int = 0,
+                  pruned_fraction: float = 0.0,
+                  block_rows: float | None = None) -> float:
+        """Cost of a filtered sequential scan.
+
+        ``pruned_fraction`` is the fraction of the table's storage blocks a
+        zone-map pre-pass is expected to skip (0.0 = no pruning, the
+        default): page reads and per-tuple filter evaluation are only paid
+        for the surviving fraction, while the zone-map checks themselves
+        cost one operator invocation per block per filter.  ``block_rows``
+        is the table's actual block width (defaults to
+        :attr:`zone_map_block_rows`).
+        """
         p = self.params
-        pages = max(table_rows / p.rows_per_page, 1.0)
+        pruned_fraction = min(max(pruned_fraction, 0.0), 1.0)
+        read_rows = table_rows * (1.0 - pruned_fraction)
+        pages = max(read_rows / p.rows_per_page, 1.0)
+        zone_checks = 0.0
+        if pruned_fraction > 0.0:
+            per_block = block_rows or self.zone_map_block_rows
+            blocks = max(table_rows / per_block, 1.0)
+            zone_checks = blocks * max(num_filters, 1) * p.cpu_operator_cost
         return (pages * p.seq_page_cost
-                + table_rows * p.cpu_tuple_cost
-                + table_rows * num_filters * p.cpu_operator_cost
+                + read_rows * p.cpu_tuple_cost
+                + read_rows * num_filters * p.cpu_operator_cost
+                + zone_checks
                 + output_rows * p.cpu_tuple_cost)
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.catalog.schema import Schema
 from repro.catalog.statistics import TableStats
 from repro.storage.index import SortedIndex
 from repro.storage.table import DataTable
+from repro.storage.zonemaps import DEFAULT_BLOCK_SIZE
 
 
 class IndexConfig(enum.Enum):
@@ -39,11 +40,20 @@ class TempTableEntry:
 
 
 class Database:
-    """In-memory database instance shared by the optimizer and executor."""
+    """In-memory database instance shared by the optimizer and executor.
 
-    def __init__(self, schema: Schema, index_config: IndexConfig = IndexConfig.PK_FK):
+    ``block_size`` is the storage-block width (rows) used when loading base
+    tables: every loaded table is partitioned into blocks of that size with
+    per-block zone maps, which the scan operator uses to skip blocks that
+    cannot satisfy its filters.  ``block_size=0`` disables partitioning (the
+    pre-zone-map behaviour: every filtered scan reads the full columns).
+    """
+
+    def __init__(self, schema: Schema, index_config: IndexConfig = IndexConfig.PK_FK,
+                 block_size: int = DEFAULT_BLOCK_SIZE):
         self.schema = schema
         self.index_config = index_config
+        self.block_size = int(block_size)
         self._tables: dict[str, DataTable] = {}
         self._stats: dict[str, TableStats] = {}
         self._indexes: dict[tuple[str, str], SortedIndex] = {}
@@ -54,7 +64,7 @@ class Database:
     # Base table management
     # ------------------------------------------------------------------
     def load_table(self, table: DataTable, analyze: bool = True) -> None:
-        """Register a base table, analyze it, and build the configured indexes."""
+        """Register a base table, analyze it, and build indexes + zone maps."""
         if not self.schema.has_table(table.name):
             raise KeyError(f"table {table.name!r} is not declared in the schema")
         self._tables[table.name] = table
@@ -63,6 +73,7 @@ class Database:
         else:
             self._stats[table.name] = TableStats.row_count_only(table.num_rows)
         self._build_indexes(table)
+        table.build_zone_maps(self.block_size)
 
     def _build_indexes(self, table: DataTable) -> None:
         """Build the indexes mandated by the current :class:`IndexConfig`."""
@@ -155,7 +166,8 @@ class Database:
     # ------------------------------------------------------------------
     def with_index_config(self, index_config: IndexConfig) -> "Database":
         """Return a new database over the same data with a different index setup."""
-        clone = Database(self.schema, index_config=index_config)
+        clone = Database(self.schema, index_config=index_config,
+                         block_size=self.block_size)
         for name, table in self._tables.items():
             clone._tables[name] = table
             clone._stats[name] = self._stats[name]

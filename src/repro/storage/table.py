@@ -4,6 +4,16 @@ A :class:`DataTable` stores one numpy array per column.  Base tables use bare
 column names (``id``, ``movie_id``); intermediate results produced by the
 executor use qualified names (``t.id``, ``mk.movie_id``) so that columns from
 different relations never collide after a join.
+
+Loaded base tables are additionally **block-partitioned**: at load time
+(:meth:`Database.load_table <repro.storage.database.Database.load_table>`
+calls :meth:`DataTable.build_zone_maps`) the table is split into fixed-size
+row blocks and a per-block :class:`~repro.storage.zonemaps.BlockZone`
+summary (min/max, null count, distinct-ness flag) is recorded for every
+column.  The :class:`~repro.executor.operators.Scan` operator uses those
+zone maps to skip whole blocks whose summary proves no row can satisfy the
+pushed-down filters; tables without zone maps (temporaries, or a database
+loaded with ``block_size=0``) are scanned in full exactly as before.
 """
 
 from __future__ import annotations
@@ -11,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.storage.zonemaps import DEFAULT_BLOCK_SIZE, TableZoneMaps
 
 
 @dataclass
@@ -28,6 +40,11 @@ class DataTable:
 
     name: str
     columns: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-block zone maps (built by :meth:`build_zone_maps`; ``None`` until
+    #: then).  Excluded from equality: two tables with the same data are the
+    #: same table regardless of how they are partitioned.
+    zone_maps: TableZoneMaps | None = field(default=None, compare=False,
+                                            repr=False)
 
     def __post_init__(self) -> None:
         lengths = {len(arr) for arr in self.columns.values()}
@@ -71,10 +88,35 @@ class DataTable:
         return self.column(name)[row_ids]
 
     # ------------------------------------------------------------------
+    # Block partitioning (zone maps)
+    # ------------------------------------------------------------------
+    def build_zone_maps(self, block_size: int = DEFAULT_BLOCK_SIZE
+                        ) -> TableZoneMaps | None:
+        """Partition the table into ``block_size``-row blocks with zone maps.
+
+        Called once at load time; ``block_size <= 0`` disables partitioning
+        (zone maps are cleared and every scan reads the full columns).
+        Returns the built :class:`TableZoneMaps` (or ``None`` when disabled).
+        """
+        if block_size is None or block_size <= 0:
+            self.zone_maps = None
+        else:
+            self.zone_maps = TableZoneMaps.build(self.columns, block_size)
+        return self.zone_maps
+
+    # ------------------------------------------------------------------
     # Row-level operations (vectorized)
     # ------------------------------------------------------------------
     def take(self, indices: np.ndarray, name: str | None = None) -> "DataTable":
         """Return a new table containing the rows selected by ``indices``."""
+        if not self.columns and len(indices):
+            # A zero-column table has no rows (num_rows is necessarily 0), so
+            # any non-empty selection refers to rows that do not exist.
+            # Failing loudly here beats silently producing a 0-row result
+            # downstream of a Scan/Aggregate that believed rows were selected.
+            raise ValueError(
+                f"cannot select {len(indices)} row(s) from zero-column table "
+                f"{self.name!r}")
         return DataTable(
             name=name or self.name,
             columns={col: arr[indices] for col, arr in self.columns.items()},
@@ -82,6 +124,9 @@ class DataTable:
 
     def filter(self, mask: np.ndarray, name: str | None = None) -> "DataTable":
         """Return a new table containing only rows where ``mask`` is True."""
+        if not self.columns and np.any(mask):
+            raise ValueError(
+                f"cannot select rows from zero-column table {self.name!r}")
         return DataTable(
             name=name or self.name,
             columns={col: arr[mask] for col, arr in self.columns.items()},

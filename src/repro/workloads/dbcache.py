@@ -20,9 +20,10 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.storage.database import Database, IndexConfig
+from repro.storage.zonemaps import DEFAULT_BLOCK_SIZE
 
 _BUILDERS: dict[str, Callable[..., Database]] = {}
-_CACHE: dict[tuple[str, float, IndexConfig], Database] = {}
+_CACHE: dict[tuple[str, float, IndexConfig, int], Database] = {}
 _ENABLED = False
 
 
@@ -49,16 +50,21 @@ def disable() -> None:
     _CACHE.clear()
 
 
-def build(workload: str, scale: float, index_config: IndexConfig) -> Database:
+def build(workload: str, scale: float, index_config: IndexConfig,
+          block_size: int = DEFAULT_BLOCK_SIZE) -> Database:
     """Build (or reuse) the ``workload`` database at ``scale``.
 
-    ``workload`` is one of ``"imdb"``, ``"tpch"``, ``"dsb"``.  Without
-    :func:`enable` this is a plain passthrough to the underlying builder.
+    ``workload`` is one of ``"imdb"``, ``"tpch"``, ``"dsb"``; ``block_size``
+    is the storage-block width for zone-map scan pruning (0 disables it).
+    Without :func:`enable` this is a plain passthrough to the underlying
+    builder.
     """
     builder = _builders()[workload]
     if not _ENABLED:
-        return builder(scale=scale, index_config=index_config)
-    key = (workload, float(scale), index_config)
+        return builder(scale=scale, index_config=index_config,
+                       block_size=block_size)
+    key = (workload, float(scale), index_config, int(block_size))
     if key not in _CACHE:
-        _CACHE[key] = builder(scale=scale, index_config=index_config)
+        _CACHE[key] = builder(scale=scale, index_config=index_config,
+                              block_size=block_size)
     return _CACHE[key]

@@ -17,6 +17,7 @@ from repro.catalog.schema import Column, ForeignKey, Schema, TableSchema
 from repro.catalog.types import DataType
 from repro.plan.logical import Query
 from repro.storage.database import Database, IndexConfig
+from repro.storage.zonemaps import DEFAULT_BLOCK_SIZE
 from repro.storage.table import DataTable
 from repro.workloads.datagen import (
     categorical,
@@ -156,11 +157,12 @@ _STATES = ["CA", "TX", "NY", "FL", "WA", "IL", "OH", "GA", "NC", "MI"]
 
 def build_dsb_database(scale: float = 1.0,
                        index_config: IndexConfig = IndexConfig.PK_FK,
-                       seed: int = 11) -> Database:
+                       seed: int = 11,
+                       block_size: int = DEFAULT_BLOCK_SIZE) -> Database:
     """Generate the skewed DSB database."""
     rng = np.random.default_rng(seed)
     sizes = {name: max(int(round(count * scale)), 4) for name, count in BASE_SIZES.items()}
-    db = Database(DSB_SCHEMA, index_config=index_config)
+    db = Database(DSB_SCHEMA, index_config=index_config, block_size=block_size)
 
     n_date = sizes["date_dim"]
     years = 1998 + (np.arange(n_date) // 366)

@@ -556,3 +556,48 @@ class TestAggregationHelpers:
 
     def test_union_all_empty(self):
         assert union_all([]).num_rows == 0
+
+
+class TestEmptyTablePath:
+    """The empty-table edge path through Scan and Aggregate (zone maps give
+    such tables zero blocks, so the pruned scan must handle them too)."""
+
+    @pytest.fixture()
+    def empty_db(self, tiny_schema):
+        from repro.storage.database import Database
+
+        db = Database(tiny_schema, block_size=64)
+        db.load_table(DataTable("t", {
+            "id": np.array([], dtype=np.int64),
+            "year": np.array([], dtype=np.int64),
+            "kind": np.array([], dtype=object),
+        }))
+        return db
+
+    def test_scan_and_aggregate_over_empty_table(self, empty_db):
+        spj = SPJQuery(
+            name="empty",
+            relations=(RelationRef.base("t", "t"),),
+            filters=(Comparison(ColumnRef("t", "year"), ">", 2000),),
+            aggregates=(AggregateSpec("count", None, "row_count"),
+                        AggregateSpec("min", ColumnRef("t", "year"), "min_year")),
+        )
+        plan = Optimizer(empty_db).plan(spj)
+        result = Executor(empty_db).execute(plan)
+        assert result.join_rows == 0
+        rows = result.table.to_rows()
+        assert rows == [(0, None)]
+
+    def test_unfiltered_empty_scan(self, empty_db):
+        spj = SPJQuery(
+            name="empty-unfiltered",
+            relations=(RelationRef.base("t", "t"),),
+            aggregates=(AggregateSpec("count", None, "row_count"),),
+        )
+        result = Executor(empty_db).execute(Optimizer(empty_db).plan(spj))
+        assert result.table.to_rows() == [(0,)]
+
+    def test_empty_table_has_zero_blocks(self, empty_db):
+        zone_maps = empty_db.table("t").zone_maps
+        assert zone_maps is not None
+        assert zone_maps.num_blocks == 0

@@ -177,6 +177,45 @@ class TestCostModel:
         model = CostModel()
         assert model.scan_cost(10_000, 10_000) > model.scan_cost(100, 100)
 
+    def test_zone_map_aware_scan_cost(self):
+        model = CostModel()
+        base = model.scan_cost(100_000, 100, num_filters=2)
+        pruned = model.scan_cost(100_000, 100, num_filters=2,
+                                 pruned_fraction=0.9)
+        assert pruned < base
+        # Smaller blocks mean more zone checks for the same pruned fraction.
+        fine = model.scan_cost(100_000, 100, num_filters=2,
+                               pruned_fraction=0.9, block_rows=64)
+        coarse = model.scan_cost(100_000, 100, num_filters=2,
+                                 pruned_fraction=0.9, block_rows=8192)
+        assert fine > coarse
+        # pruned_fraction=0 must reproduce the classic formula exactly.
+        assert model.scan_cost(100_000, 100, 2, pruned_fraction=0.0) == base
+
+    def test_zone_map_scan_cost_opt_in_via_enumerator(self, tiny_db):
+        """With the opt-in flag, a clustered selective filter lowers the
+        estimated scan cost; without it, estimates are unchanged."""
+        from repro.optimizer.join_enum import EnumeratorConfig, JoinEnumerator
+        from repro.optimizer.cardinality import DefaultCardinalityEstimator
+        from repro.plan.logical import SPJQuery
+        from repro.plan.expressions import Comparison
+
+        spj = SPJQuery(
+            name="prune-cost",
+            relations=(_rel("ci"),),
+            filters=(Comparison(ColumnRef("ci", "id"), "<=", 100),),
+        )
+        tiny_db.table("ci").build_zone_maps(256)
+        try:
+            estimator = DefaultCardinalityEstimator(tiny_db)
+            off = JoinEnumerator(tiny_db, estimator, CostModel()).plan(spj)
+            on = JoinEnumerator(
+                tiny_db, estimator, CostModel(),
+                EnumeratorConfig(zone_map_scan_cost=True)).plan(spj)
+            assert on.est_cost < off.est_cost
+        finally:
+            tiny_db.table("ci").build_zone_maps(tiny_db.block_size)
+
     def test_index_nl_cheap_for_small_outer(self):
         model = CostModel()
         hash_cost = model.join_cost(JoinMethod.HASH, 10, 100_000, 50)

@@ -23,6 +23,20 @@ class TestDataTable:
         table = DataTable("x", {})
         assert table.num_rows == 0
 
+    def test_zero_column_table_rejects_nonempty_selection(self):
+        """A zero-column table has no rows, so selecting rows from it is a
+        bug upstream -- it must fail loudly instead of silently yielding a
+        0-row result (the num_rows == 0 property would otherwise hide the
+        dangling selection downstream of Scan/Aggregate)."""
+        table = DataTable("x", {})
+        with pytest.raises(ValueError):
+            table.take(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            table.filter(np.array([True]))
+        # Empty selections stay legal: they describe the table faithfully.
+        assert table.take(np.array([], dtype=np.int64)).num_rows == 0
+        assert table.filter(np.array([], dtype=bool)).num_rows == 0
+
     def test_take_and_filter(self):
         table = DataTable("x", {"a": np.arange(10)})
         taken = table.take(np.array([1, 3, 5]))
@@ -139,3 +153,40 @@ class TestDatabase:
             tiny_db.table("missing")
         with pytest.raises(KeyError):
             tiny_db.stats("missing")
+
+
+class TestBlockPartitioning:
+    def test_loaded_tables_get_zone_maps(self, tiny_db):
+        zone_maps = tiny_db.table("ci").zone_maps
+        assert zone_maps is not None
+        assert zone_maps.block_size == tiny_db.block_size
+        expected = -(-tiny_db.table("ci").num_rows // zone_maps.block_size)
+        assert zone_maps.num_blocks == expected
+        assert set(zone_maps.columns) == set(tiny_db.table("ci").column_names)
+
+    def test_block_size_zero_disables_partitioning(self, tiny_schema):
+        from tests.conftest import build_tiny_database
+
+        db = build_tiny_database(tiny_schema)
+        for name in db.base_table_names:
+            db.table(name).build_zone_maps(0)
+            assert db.table(name).zone_maps is None
+
+    def test_temp_tables_are_not_partitioned(self, tiny_schema):
+        from tests.conftest import build_tiny_database
+
+        db = build_tiny_database(tiny_schema)
+        name = db.register_temp(DataTable("temp", {"t.id": np.arange(10)}),
+                                TableStats.row_count_only(10), frozenset({"t"}))
+        assert db.table(name).zone_maps is None
+
+    def test_zone_bounds_cover_the_data(self, tiny_db):
+        table = tiny_db.table("mk")
+        zones = table.zone_maps.columns["movie_id"]
+        values = table.column("movie_id")
+        for block, zone in enumerate(zones):
+            start, stop = table.zone_maps.block_bounds(block)
+            assert zone.min_value == values[start:stop].min()
+            assert zone.max_value == values[start:stop].max()
+            assert zone.num_rows == stop - start
+            assert zone.null_count == 0
