@@ -43,6 +43,11 @@ class HarnessConfig:
     #: when the same instance is passed to several runs, across whole
     #: algorithms/policies).  ``None`` keeps runs fully independent.
     subplan_cache: SubplanCache | None = None
+    #: Executor hot-path toggles: fused selectivity-ordered predicate
+    #: evaluation in scans, and build-side semijoin/Bloom filters pushed
+    #: into probe-side scans.  On by default.
+    fused_kernels: bool = True
+    semijoin_pruning: bool = True
     verbose: bool = False
 
 
@@ -60,6 +65,8 @@ def run_query(database: Database, query: Query, algorithm: str,
         cost_function=config.cost_function,
         estimator=estimator,
         subplan_cache=config.subplan_cache,
+        fused_kernels=config.fused_kernels,
+        semijoin_pruning=config.semijoin_pruning,
     )
     return runner.run(query)
 

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.catalog.statistics import ColumnStats, Histogram, TableStats
 from repro.catalog.types import DataType
+from repro.storage.dictionary import null_mask
 
 #: Number of most-common values retained per column.
 DEFAULT_MCV_SIZE = 10
@@ -68,8 +69,15 @@ def analyze_columns(columns: dict[str, np.ndarray],
 
 
 def analyze_table(table, **kwargs) -> TableStats:
-    """Compute full statistics for a :class:`repro.storage.table.DataTable`."""
-    return analyze_columns(dict(table.columns), num_rows=table.num_rows, **kwargs)
+    """Compute full statistics for a :class:`repro.storage.table.DataTable`.
+
+    Dictionary-encoded columns are analyzed over their decoded values
+    (uncached -- ANALYZE is a one-shot whole-column read), so statistics
+    such as MCVs hold real strings regardless of the storage encoding.
+    """
+    columns = {name: table.column_values(name, cache=False)
+               for name in table.columns}
+    return analyze_columns(columns, num_rows=table.num_rows, **kwargs)
 
 
 def _analyze_column(sample: np.ndarray, total_rows: int,
@@ -80,14 +88,14 @@ def _analyze_column(sample: np.ndarray, total_rows: int,
     if sample_size == 0:
         return ColumnStats(dtype=dtype, num_rows=total_rows, ndv=0)
 
-    if dtype is DataType.STRING:
-        null_mask = np.array([v is None for v in sample], dtype=bool)
-    elif dtype is DataType.FLOAT:
-        null_mask = np.isnan(sample.astype(float))
-    else:
-        null_mask = np.zeros(sample_size, dtype=bool)
-    non_null = sample[~null_mask]
-    null_fraction = float(null_mask.mean()) if sample_size else 0.0
+    # Dtype-aware null handling shared with the dictionary encoder: object
+    # columns may hold None (or stray NaN) regardless of the inferred
+    # DataType, and float columns use NaN.  The previous
+    # ``np.isnan(sample.astype(float))`` crashed on string data reaching
+    # the FLOAT branch via object arrays of mixed numerics.
+    nulls = null_mask(sample)
+    non_null = sample[~nulls]
+    null_fraction = float(nulls.mean()) if sample_size else 0.0
 
     if len(non_null) == 0:
         return ColumnStats(dtype=dtype, num_rows=total_rows, ndv=0,

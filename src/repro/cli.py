@@ -331,6 +331,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--block-size", type=int, default=None,
                          help="storage-block rows for zone-map scan pruning "
                               "(0 disables pruning; experiment default: 4096)")
+    run_cmd.add_argument("--no-dict-encode", action="store_true",
+                         help="disable load-time dictionary encoding of "
+                              "string columns")
+    run_cmd.add_argument("--no-fused-kernels", action="store_true",
+                         help="disable fused (selectivity-ordered, "
+                              "single-pass) scan predicate evaluation")
+    run_cmd.add_argument("--no-semijoin", action="store_true",
+                         help="disable build-side semijoin/Bloom filters "
+                              "pushed into probe-side scans")
     run_cmd.add_argument("--jobs", type=int, default=1,
                          help="worker processes; >1 also shards experiments "
                               "by query family where possible")
@@ -392,6 +401,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         value = getattr(args, flag)
         if value is not None:
             overrides.setdefault(knob, value)
+    for flag, knob in (("no_dict_encode", "dict_encode"),
+                       ("no_fused_kernels", "fused_kernels"),
+                       ("no_semijoin", "semijoin_pruning")):
+        if getattr(args, flag):
+            overrides.setdefault(knob, False)
 
     statuses = run_experiments(
         names, jobs=max(1, args.jobs), results_dir=args.results_dir,

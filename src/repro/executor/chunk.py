@@ -126,8 +126,10 @@ class TableSource(ColumnSource):
     def gather(self, ref: ColumnRef,
                stats: MaterializationStats | None = None) -> np.ndarray:
         if self.row_ids is None:
-            # Identity selection: hand out the stored column by reference.
-            return self.table.column(self._storage_name(ref))
+            # Identity selection: hand out the stored column by reference
+            # (decoded -- and cached on the table -- when it is
+            # dictionary-encoded, so consumers always see real values).
+            return self.table.column_values(self._storage_name(ref))
         data = self.table.gather(self._storage_name(ref), self.row_ids)
         if stats is not None:
             stats.count(data)

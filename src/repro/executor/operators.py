@@ -33,7 +33,9 @@ from repro.executor.chunk import (
     merge_chunks,
 )
 from repro.executor.joins import multi_key_equi_join
+from repro.executor.kernels import PredicateCompiler
 from repro.plan.expressions import ColumnRef
+from repro.storage.dictionary import translate_filters
 from repro.plan.physical import JoinNode, PhysicalPlan, PlanNode, ScanNode
 from repro.storage.database import Database
 from repro.storage.table import DataTable
@@ -57,12 +59,25 @@ class ExecContext:
     #: Eager compatibility mode: materialize needed columns at every operator
     #: (the pre-chunk behaviour, kept for the materialization benchmark).
     eager: bool = False
+    #: Fused predicate kernels: evaluate a scan's conjunction in one
+    #: selectivity-ordered pass (off = the naive per-predicate loop).
+    fused: bool = True
     operator_times: dict[str, float] = field(default_factory=dict)
     #: Zone-map pruning accounting: storage blocks considered by filtered
     #: scans over block-partitioned tables, and how many the zone maps
     #: eliminated without reading any column data.
     scan_blocks_total: int = 0
     scan_blocks_pruned: int = 0
+    #: Fused-kernel accounting: candidate rows each compiled predicate
+    #: actually evaluated over, and how many predicates ran fused.
+    fused_rows_touched: int = 0
+    fused_predicates: int = 0
+    #: Predicates rewritten into dictionary code space by scans.
+    dict_predicates: int = 0
+    #: Semijoin pushdown accounting: filters pushed into probe scans, and
+    #: probe rows they eliminated before the hash probe.
+    semijoin_filters: int = 0
+    semijoin_pruned_rows: int = 0
 
 
 class Operator:
@@ -85,16 +100,29 @@ class Scan(Operator):
     Over a block-partitioned table the scan is two-phase: the pushed-down
     conjunction is first tested against every block's zone maps
     (:mod:`repro.storage.zonemaps`), then the predicates are evaluated
-    vectorized *only inside the surviving blocks* (adjacent survivors are
-    coalesced into contiguous runs so each predicate still evaluates over
-    large slices).  Pruning is conservative, so the emitted row-id vector is
+    *only inside the surviving blocks* (adjacent survivors are coalesced
+    into contiguous runs so each predicate still evaluates over large
+    slices).  Pruning is conservative, so the emitted row-id vector is
     bit-identical to a full scan's; tables without zone maps take the
     original full-column path.
+
+    Two hot-path rewrites happen before any data is read.  Predicates over
+    dictionary-encoded string columns are translated into code space
+    (:func:`~repro.storage.dictionary.translate_filters`), which can decide
+    a conjunct outright: a provably unsatisfiable conjunct returns the
+    empty selection without scanning, a tautological one is dropped.  And
+    with ``ctx.fused`` the surviving conjunction is compiled into a
+    single selectivity-ordered pass (:class:`PredicateCompiler`) instead
+    of one full-slice pass per predicate.
+
+    ``extra_filters`` carries synthetic predicates pushed down by the
+    executor (semijoin filters from a parent hash join); they never come
+    from the plan node, so plan signatures and costing are unaffected.
     """
 
     name = "Scan"
 
-    def execute(self, ctx: ExecContext) -> Chunk:
+    def execute(self, ctx: ExecContext, extra_filters=()) -> Chunk:
         node: ScanNode = self.node  # type: ignore[assignment]
         relation = node.relation
         table = ctx.database.table(relation.table_name)
@@ -102,24 +130,45 @@ class Scan(Operator):
         def storage_name(ref: ColumnRef) -> str:
             return ref.qualified if relation.is_temp else ref.column
 
-        if not node.filters:
+        filters = tuple(node.filters) + tuple(extra_filters)
+        if not filters:
             # Identity selection: no vector materialized.
             return Chunk((TableSource(relation, table, None),))
 
+        filters, impossible, translated = translate_filters(
+            filters, table, storage_name)
+        ctx.dict_predicates += translated
         zone_maps = table.zone_maps
+        if impossible:
+            # The dictionary proved a conjunct unsatisfiable: empty scan,
+            # every block counts as pruned.
+            if zone_maps is not None:
+                ctx.scan_blocks_total += zone_maps.num_blocks
+                ctx.scan_blocks_pruned += zone_maps.num_blocks
+            return Chunk((TableSource(relation, table,
+                                      np.empty(0, dtype=np.int64)),))
+        if not filters:
+            # Every conjunct was tautological: identity selection.
+            return Chunk((TableSource(relation, table, None),))
+
+        kernel = None
+        if ctx.fused:
+            kernel = PredicateCompiler(filters)
+            ctx.fused_predicates += len(filters)
         if zone_maps is None or zone_maps.num_blocks == 0:
-            row_ids = self._filter_range(table, node.filters, storage_name,
-                                         0, table.num_rows)
+            row_ids = self._filter_range(table, filters, storage_name,
+                                         0, table.num_rows, ctx, kernel)
         else:
-            candidates = zone_maps.candidate_blocks(node.filters, storage_name)
+            candidates = zone_maps.candidate_blocks(filters, storage_name)
             ctx.scan_blocks_total += zone_maps.num_blocks
             ctx.scan_blocks_pruned += int(zone_maps.num_blocks
                                           - candidates.sum())
             parts = [
-                self._filter_range(table, node.filters, storage_name,
+                self._filter_range(table, filters, storage_name,
                                    first * zone_maps.block_size,
                                    min(last * zone_maps.block_size,
-                                       table.num_rows))
+                                       table.num_rows),
+                                   ctx, kernel)
                 for first, last in _block_runs(candidates)
             ]
             if not parts:
@@ -132,7 +181,8 @@ class Scan(Operator):
 
     @staticmethod
     def _filter_range(table: DataTable, filters, storage_name,
-                      start: int, stop: int) -> np.ndarray:
+                      start: int, stop: int, ctx: ExecContext | None = None,
+                      kernel: PredicateCompiler | None = None) -> np.ndarray:
         """Evaluate the filter conjunction over rows ``[start, stop)``."""
 
         def resolve(ref: ColumnRef) -> np.ndarray:
@@ -140,10 +190,13 @@ class Scan(Operator):
             return column if start == 0 and stop == len(column) \
                 else column[start:stop]
 
-        mask = filters[0].evaluate(resolve)
-        for pred in filters[1:]:
-            mask = mask & pred.evaluate(resolve)
-        row_ids = np.nonzero(mask)[0].astype(np.int64, copy=False)
+        if kernel is not None:
+            row_ids = kernel.evaluate_range(resolve, stop - start, ctx)
+        else:
+            mask = filters[0].evaluate(resolve)
+            for pred in filters[1:]:
+                mask = mask & pred.evaluate(resolve)
+            row_ids = np.nonzero(mask)[0].astype(np.int64, copy=False)
         return row_ids + start if start else row_ids
 
 

@@ -51,10 +51,16 @@ class CostModel:
     # ------------------------------------------------------------------
     # Leaf operators
     # ------------------------------------------------------------------
+    #: Relative per-tuple cost of a filter evaluated in dictionary code
+    #: space (an ``int32`` compare) versus a value-space one (which may be
+    #: a Python-object comparison on string columns).
+    code_space_filter_factor: float = 0.25
+
     def scan_cost(self, table_rows: float, output_rows: float,
                   num_filters: int = 0,
                   pruned_fraction: float = 0.0,
-                  block_rows: float | None = None) -> float:
+                  block_rows: float | None = None,
+                  code_space_filters: int = 0) -> float:
         """Cost of a filtered sequential scan.
 
         ``pruned_fraction`` is the fraction of the table's storage blocks a
@@ -64,6 +70,11 @@ class CostModel:
         cost one operator invocation per block per filter.  ``block_rows``
         is the table's actual block width (defaults to
         :attr:`zone_map_block_rows`).
+
+        ``code_space_filters`` counts how many of the ``num_filters``
+        evaluate over dictionary-encoded columns; those are charged only
+        :attr:`code_space_filter_factor` of the per-tuple operator cost,
+        reflecting the int-compare fast path.
         """
         p = self.params
         pruned_fraction = min(max(pruned_fraction, 0.0), 1.0)
@@ -74,9 +85,12 @@ class CostModel:
             per_block = block_rows or self.zone_map_block_rows
             blocks = max(table_rows / per_block, 1.0)
             zone_checks = blocks * max(num_filters, 1) * p.cpu_operator_cost
+        code_space_filters = min(max(code_space_filters, 0), num_filters)
+        effective_filters = (num_filters - code_space_filters
+                             + code_space_filters * self.code_space_filter_factor)
         return (pages * p.seq_page_cost
                 + read_rows * p.cpu_tuple_cost
-                + read_rows * num_filters * p.cpu_operator_cost
+                + read_rows * effective_filters * p.cpu_operator_cost
                 + zone_checks
                 + output_rows * p.cpu_tuple_cost)
 

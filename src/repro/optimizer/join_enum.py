@@ -77,11 +77,32 @@ class JoinEnumerator:
         rows = self.estimator.estimate_rows((relation,), filters, (), query.name)
         table_rows = self.estimator.relation_rows(relation)
         pruned, block_rows = self._pruned_fraction(relation, filters)
-        cost = self.cost_model.scan_cost(table_rows, rows, len(filters),
-                                         pruned_fraction=pruned,
-                                         block_rows=block_rows)
+        cost = self.cost_model.scan_cost(
+            table_rows, rows, len(filters),
+            pruned_fraction=pruned, block_rows=block_rows,
+            code_space_filters=self._code_space_filters(relation, filters))
         return ScanNode(relation=relation, filters=filters,
                         est_rows=rows, est_cost=cost)
+
+    def _code_space_filters(self, relation: RelationRef,
+                            filters: tuple[Predicate, ...]) -> int:
+        """Filters the scan will evaluate in dictionary code space.
+
+        A filter qualifies when every column it references is stored
+        dictionary-encoded in the base table (temps are never encoded), so
+        the executor's predicate translation turns it into an int compare.
+        """
+        if not filters or relation.is_temp:
+            return 0
+        if not self.database.has_table(relation.table_name):
+            return 0
+        table = self.database.table(relation.table_name)
+        if not table.dictionaries:
+            return 0
+        return sum(
+            1 for pred in filters
+            if all(table.has_column(ref.column) and table.is_encoded(ref.column)
+                   for ref in pred.column_refs()))
 
     def _pruned_fraction(self, relation: RelationRef,
                          filters: tuple[Predicate, ...]

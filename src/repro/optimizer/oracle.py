@@ -232,9 +232,11 @@ class TrueCardinalityOracle:
             if all(alias in relation.covered_aliases for alias in pred.aliases()))
 
         def resolve(ref: ColumnRef) -> np.ndarray:
+            # column_values decodes dictionary-encoded storage: the oracle
+            # evaluates value-space predicates over real values.
             if relation.is_temp:
-                return table.column(ref.qualified)
-            return table.column(ref.column)
+                return table.column_values(ref.qualified)
+            return table.column_values(ref.column)
 
         if relation_filters:
             mask = relation_filters[0].evaluate(resolve)

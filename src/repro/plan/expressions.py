@@ -121,7 +121,23 @@ class InList(Predicate):
 
     def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
         data = resolve(self.column)
-        return np.isin(data, np.asarray(list(self.values), dtype=data.dtype))
+        if not self.values:
+            return np.zeros(len(data), dtype=bool)
+        try:
+            needles = np.asarray(list(self.values), dtype=data.dtype)
+            # The cast must round-trip: e.g. 3.7 silently truncates to 3 in
+            # an int column and would then match rows the predicate should
+            # not.  Mismatches take the elementwise fallback below instead.
+            if all(c == v for c, v in zip(needles.tolist(), self.values)):
+                return np.isin(data, needles)
+        except (TypeError, ValueError, OverflowError):
+            pass
+        # Mixed/non-representable values: OR of elementwise equality, which
+        # follows the same comparison semantics as Comparison("=").
+        mask = np.zeros(len(data), dtype=bool)
+        for value in self.values:
+            mask |= np.asarray(data == value, dtype=bool)
+        return mask
 
 
 @dataclass(frozen=True)

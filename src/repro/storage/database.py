@@ -47,13 +47,21 @@ class Database:
     per-block zone maps, which the scan operator uses to skip blocks that
     cannot satisfy its filters.  ``block_size=0`` disables partitioning (the
     pre-zone-map behaviour: every filtered scan reads the full columns).
+
+    ``dict_encode`` (default on) dictionary-encodes eligible string columns
+    at load time (:mod:`repro.storage.dictionary`): the stored array becomes
+    ``int32`` codes into a sorted value dictionary, scans evaluate string
+    predicates in code space, and zone maps over the codes prune blocks for
+    string predicates too.  Indexed columns are never encoded.
     """
 
     def __init__(self, schema: Schema, index_config: IndexConfig = IndexConfig.PK_FK,
-                 block_size: int = DEFAULT_BLOCK_SIZE):
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 dict_encode: bool = True):
         self.schema = schema
         self.index_config = index_config
         self.block_size = int(block_size)
+        self.dict_encode = bool(dict_encode)
         self._tables: dict[str, DataTable] = {}
         self._stats: dict[str, TableStats] = {}
         self._indexes: dict[tuple[str, str], SortedIndex] = {}
@@ -64,9 +72,16 @@ class Database:
     # Base table management
     # ------------------------------------------------------------------
     def load_table(self, table: DataTable, analyze: bool = True) -> None:
-        """Register a base table, analyze it, and build indexes + zone maps."""
+        """Register a base table, analyze it, and build indexes + zone maps.
+
+        With ``dict_encode`` on, eligible string columns are re-stored as
+        dictionary codes first, so statistics run over decoded values while
+        zone maps are built over the (numeric) code arrays.
+        """
         if not self.schema.has_table(table.name):
             raise KeyError(f"table {table.name!r} is not declared in the schema")
+        if self.dict_encode:
+            table.encode_strings(skip=self._indexed_columns(table.name))
         self._tables[table.name] = table
         if analyze:
             self._stats[table.name] = analyze_table(table)
@@ -75,18 +90,22 @@ class Database:
         self._build_indexes(table)
         table.build_zone_maps(self.block_size)
 
+    def _indexed_columns(self, table_name: str) -> set[str]:
+        """Columns the current :class:`IndexConfig` mandates indexes on."""
+        if self.index_config is IndexConfig.NONE:
+            return set()
+        schema = self.schema.table(table_name)
+        columns: set[str] = set()
+        if schema.primary_key is not None:
+            columns.add(schema.primary_key)
+        if self.index_config is IndexConfig.PK_FK:
+            columns.update(schema.foreign_key_columns())
+        return columns
+
     def _build_indexes(self, table: DataTable) -> None:
         """Build the indexes mandated by the current :class:`IndexConfig`."""
-        if self.index_config is IndexConfig.NONE:
-            return
-        schema = self.schema.table(table.name)
-        indexed_columns: set[str] = set()
-        if schema.primary_key is not None:
-            indexed_columns.add(schema.primary_key)
-        if self.index_config is IndexConfig.PK_FK:
-            indexed_columns.update(schema.foreign_key_columns())
-        for column in indexed_columns:
-            if table.has_column(column):
+        for column in self._indexed_columns(table.name):
+            if table.has_column(column) and not table.is_encoded(column):
                 self._indexes[(table.name, column)] = SortedIndex(
                     table.name, column, table.column(column))
 
@@ -167,7 +186,8 @@ class Database:
     def with_index_config(self, index_config: IndexConfig) -> "Database":
         """Return a new database over the same data with a different index setup."""
         clone = Database(self.schema, index_config=index_config,
-                         block_size=self.block_size)
+                         block_size=self.block_size,
+                         dict_encode=self.dict_encode)
         for name, table in self._tables.items():
             clone._tables[name] = table
             clone._stats[name] = self._stats[name]

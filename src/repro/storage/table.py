@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.storage.dictionary import decode_lookup, encode_column
 from repro.storage.zonemaps import DEFAULT_BLOCK_SIZE, TableZoneMaps
 
 
@@ -35,7 +36,9 @@ class DataTable:
         Table name (base table name or a generated temporary-table name).
     columns:
         Mapping of column name to numpy array.  All arrays must have the same
-        length.
+        length.  Dictionary-encoded string columns (see
+        :meth:`encode_strings`) store ``int32`` code arrays here, with the
+        sorted value dictionary in :attr:`dictionaries`.
     """
 
     name: str
@@ -45,12 +48,20 @@ class DataTable:
     #: same table regardless of how they are partitioned.
     zone_maps: TableZoneMaps | None = field(default=None, compare=False,
                                             repr=False)
+    #: Sorted value dictionary per dictionary-encoded column: the stored
+    #: array holds ``int32`` codes into it (``-1`` = NULL).  Excluded from
+    #: equality for the same reason as zone maps: encoding is a storage
+    #: representation, not data.
+    dictionaries: dict[str, np.ndarray] = field(default_factory=dict,
+                                                compare=False, repr=False)
 
     def __post_init__(self) -> None:
         lengths = {len(arr) for arr in self.columns.values()}
         if len(lengths) > 1:
             raise ValueError(
                 f"columns of table {self.name!r} have differing lengths: {lengths}")
+        #: Lazily cached decoded columns (query-time identity gathers).
+        self._decoded: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -84,8 +95,63 @@ class DataTable:
         This is the single point where the late-materialization executor
         turns a selection vector back into real column data; chunks call it
         exactly once per (column, plan-root) instead of once per operator.
+        Dictionary-encoded columns are decoded here -- i.e. only for the
+        rows that actually survive to a gather point.
         """
-        return self.column(name)[row_ids]
+        selected = self.column(name)[row_ids]
+        if name in self.dictionaries:
+            return decode_lookup(self.dictionaries[name])[selected]
+        return selected
+
+    # ------------------------------------------------------------------
+    # Dictionary encoding
+    # ------------------------------------------------------------------
+    def is_encoded(self, name: str) -> bool:
+        """True if column ``name`` is stored as dictionary codes."""
+        return name in self.dictionaries
+
+    def dictionary(self, name: str) -> np.ndarray:
+        """The sorted value dictionary of an encoded column."""
+        return self.dictionaries[name]
+
+    def column_values(self, name: str, cache: bool = True) -> np.ndarray:
+        """The full *decoded* column (the stored array when unencoded).
+
+        Whole-column consumers that need real values (ANALYZE, the
+        cardinality oracle, identity-selection gathers) funnel through
+        here.  ``cache=True`` keeps the decoded array for reuse across
+        queries; one-shot consumers pass ``cache=False``.
+        """
+        if name not in self.dictionaries:
+            return self.column(name)
+        if name in self._decoded:
+            return self._decoded[name]
+        values = decode_lookup(self.dictionaries[name])[self.columns[name]]
+        if cache:
+            self._decoded[name] = values
+        return values
+
+    def encode_strings(self, skip: set[str] | frozenset[str] = frozenset()
+                       ) -> list[str]:
+        """Dictionary-encode every eligible object column in place.
+
+        Eligible means: object dtype, every non-null value a plain string,
+        and not listed in ``skip`` (indexed columns stay raw so sorted
+        indexes keep operating on values).  Returns the encoded names.
+        """
+        encoded = []
+        for name, values in list(self.columns.items()):
+            if name in skip or name in self.dictionaries:
+                continue
+            result = encode_column(values)
+            if result is None:
+                continue
+            codes, dictionary = result
+            self.columns[name] = codes
+            self.dictionaries[name] = dictionary
+            self._decoded.pop(name, None)
+            encoded.append(name)
+        return encoded
 
     # ------------------------------------------------------------------
     # Block partitioning (zone maps)
@@ -120,6 +186,7 @@ class DataTable:
         return DataTable(
             name=name or self.name,
             columns={col: arr[indices] for col, arr in self.columns.items()},
+            dictionaries=dict(self.dictionaries),
         )
 
     def filter(self, mask: np.ndarray, name: str | None = None) -> "DataTable":
@@ -130,6 +197,7 @@ class DataTable:
         return DataTable(
             name=name or self.name,
             columns={col: arr[mask] for col, arr in self.columns.items()},
+            dictionaries=dict(self.dictionaries),
         )
 
     def project(self, names: list[str], name: str | None = None) -> "DataTable":
@@ -137,6 +205,8 @@ class DataTable:
         return DataTable(
             name=name or self.name,
             columns={col: self.columns[col] for col in names},
+            dictionaries={col: d for col, d in self.dictionaries.items()
+                          if col in names},
         )
 
     def rename_columns(self, mapping: dict[str, str], name: str | None = None) -> "DataTable":
@@ -144,6 +214,8 @@ class DataTable:
         return DataTable(
             name=name or self.name,
             columns={mapping.get(col, col): arr for col, arr in self.columns.items()},
+            dictionaries={mapping.get(col, col): d
+                          for col, d in self.dictionaries.items()},
         )
 
     # ------------------------------------------------------------------
@@ -168,7 +240,7 @@ class DataTable:
     def to_rows(self) -> list[tuple]:
         """Return the table contents as a list of row tuples (tests only)."""
         names = self.column_names
-        arrays = [self.columns[c] for c in names]
+        arrays = [self.column_values(c, cache=False) for c in names]
         return [tuple(arr[i] for arr in arrays) for i in range(self.num_rows)]
 
     # ------------------------------------------------------------------
@@ -178,8 +250,13 @@ class DataTable:
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the table in bytes."""
         total = 0
-        for arr in self.columns.values():
-            if arr.dtype == object:
+        for name, arr in self.columns.items():
+            if name in self.dictionaries:
+                # int32 codes plus the dictionary payload (pointer + assumed
+                # 24-byte average string per distinct value).
+                dictionary = self.dictionaries[name]
+                total += arr.nbytes + dictionary.nbytes + 24 * len(dictionary)
+            elif arr.dtype == object:
                 # Assume an average of 24 bytes per string payload plus the
                 # 8-byte pointer stored in the array itself.
                 total += arr.nbytes + 24 * len(arr)

@@ -23,7 +23,7 @@ from repro.storage.database import Database, IndexConfig
 from repro.storage.zonemaps import DEFAULT_BLOCK_SIZE
 
 _BUILDERS: dict[str, Callable[..., Database]] = {}
-_CACHE: dict[tuple[str, float, IndexConfig, int], Database] = {}
+_CACHE: dict[tuple[str, float, IndexConfig, int, bool], Database] = {}
 _ENABLED = False
 
 
@@ -51,20 +51,23 @@ def disable() -> None:
 
 
 def build(workload: str, scale: float, index_config: IndexConfig,
-          block_size: int = DEFAULT_BLOCK_SIZE) -> Database:
+          block_size: int = DEFAULT_BLOCK_SIZE,
+          dict_encode: bool = True) -> Database:
     """Build (or reuse) the ``workload`` database at ``scale``.
 
     ``workload`` is one of ``"imdb"``, ``"tpch"``, ``"dsb"``; ``block_size``
-    is the storage-block width for zone-map scan pruning (0 disables it).
-    Without :func:`enable` this is a plain passthrough to the underlying
-    builder.
+    is the storage-block width for zone-map scan pruning (0 disables it);
+    ``dict_encode`` controls load-time dictionary encoding of string
+    columns.  Without :func:`enable` this is a plain passthrough to the
+    underlying builder.
     """
     builder = _builders()[workload]
     if not _ENABLED:
         return builder(scale=scale, index_config=index_config,
-                       block_size=block_size)
-    key = (workload, float(scale), index_config, int(block_size))
+                       block_size=block_size, dict_encode=dict_encode)
+    key = (workload, float(scale), index_config, int(block_size),
+           bool(dict_encode))
     if key not in _CACHE:
         _CACHE[key] = builder(scale=scale, index_config=index_config,
-                              block_size=block_size)
+                              block_size=block_size, dict_encode=dict_encode)
     return _CACHE[key]

@@ -158,11 +158,13 @@ _STATES = ["CA", "TX", "NY", "FL", "WA", "IL", "OH", "GA", "NC", "MI"]
 def build_dsb_database(scale: float = 1.0,
                        index_config: IndexConfig = IndexConfig.PK_FK,
                        seed: int = 11,
-                       block_size: int = DEFAULT_BLOCK_SIZE) -> Database:
+                       block_size: int = DEFAULT_BLOCK_SIZE,
+                       dict_encode: bool = True) -> Database:
     """Generate the skewed DSB database."""
     rng = np.random.default_rng(seed)
     sizes = {name: max(int(round(count * scale)), 4) for name, count in BASE_SIZES.items()}
-    db = Database(DSB_SCHEMA, index_config=index_config, block_size=block_size)
+    db = Database(DSB_SCHEMA, index_config=index_config, block_size=block_size,
+                  dict_encode=dict_encode)
 
     n_date = sizes["date_dim"]
     years = 1998 + (np.arange(n_date) // 366)

@@ -139,7 +139,8 @@ IMDB_SCHEMA = Schema([
 def build_imdb_database(scale: float = 1.0,
                         index_config: IndexConfig = IndexConfig.PK_FK,
                         seed: int = 42,
-                        block_size: int = DEFAULT_BLOCK_SIZE) -> Database:
+                        block_size: int = DEFAULT_BLOCK_SIZE,
+                        dict_encode: bool = True) -> Database:
     """Generate the synthetic IMDB database.
 
     Parameters
@@ -154,7 +155,8 @@ def build_imdb_database(scale: float = 1.0,
     """
     rng = np.random.default_rng(seed)
     sizes = {name: max(int(round(count * scale)), 4) for name, count in BASE_SIZES.items()}
-    db = Database(IMDB_SCHEMA, index_config=index_config, block_size=block_size)
+    db = Database(IMDB_SCHEMA, index_config=index_config, block_size=block_size,
+                  dict_encode=dict_encode)
 
     # ------------------------------------------------------------------
     # Dimension tables

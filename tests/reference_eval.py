@@ -87,7 +87,9 @@ def _table_rows(database, spj: SPJQuery, relation) -> list[dict]:
     """The filtered rows of one base relation, as per-row column dicts."""
     table = database.table(relation.table_name)
     names = table.column_names
-    arrays = [table.columns[name] for name in names]
+    # column_values decodes dictionary-encoded storage: the reference
+    # evaluator always compares real values.
+    arrays = [table.column_values(name, cache=False) for name in names]
     filters = spj.filters_for(relation)
     rows = []
     for i in range(table.num_rows):

@@ -76,16 +76,19 @@ DIFF_SCHEMA = Schema([
 
 
 def build_differential_database(seed: int = SEED,
-                                block_size: int = 64) -> Database:
+                                block_size: int = 64,
+                                dict_encode: bool = True) -> Database:
     """Small, null-free database with a shared-dimension FK graph.
 
     ``block_size=64`` deliberately makes many blocks, so the zone-map
     pruning path is exercised by almost every generated filter.
+    ``dict_encode=False`` stores string columns raw (the pre-dictionary
+    baseline representation).
     """
     rng = np.random.default_rng(seed)
     n_movie, n_kw, n_person, n_mk, n_ci = 150, 25, 80, 500, 700
     db = Database(DIFF_SCHEMA, index_config=IndexConfig.PK_FK,
-                  block_size=block_size)
+                  block_size=block_size, dict_encode=dict_encode)
     db.load_table(DataTable("movie", {
         "id": np.arange(1, n_movie + 1),
         "year": rng.integers(1960, 2026, n_movie),
@@ -124,6 +127,12 @@ def diff_db() -> Database:
     return build_differential_database()
 
 
+@pytest.fixture(scope="module")
+def plain_db() -> Database:
+    """The same data with every hot-path acceleration representation off."""
+    return build_differential_database(dict_encode=False)
+
+
 def make_stream(db: Database, seed: int = SEED) -> RandomQueryGenerator:
     return RandomQueryGenerator(
         db, seed=seed,
@@ -135,18 +144,31 @@ def make_stream(db: Database, seed: int = SEED) -> RandomQueryGenerator:
 
 
 class TestDifferentialOracle:
-    def test_200_generated_queries_match_reference(self, diff_db):
-        generator = make_stream(diff_db)
-        runner = make_algorithm("Default", diff_db)
+    @pytest.mark.parametrize("accelerated", [False, True],
+                             ids=["hotpath-off", "hotpath-on"])
+    def test_200_generated_queries_match_reference(self, diff_db, plain_db,
+                                                   accelerated):
+        """Two passes over the same 200-query stream: the naive engine
+        (raw strings, per-predicate scan loop, no semijoin pushdown) and
+        the full hot path (dictionary codes + fused kernels + Bloom/
+        semijoin pruning) must both match the row-at-a-time oracle --
+        which also makes the two engine configurations transitively
+        equivalent on every query."""
+        db = diff_db if accelerated else plain_db
+        generator = make_stream(db)
+        runner = make_algorithm("Default", db,
+                                fused_kernels=accelerated,
+                                semijoin_pruning=accelerated)
         for index in range(200):
             query = generator.query_at(index)
-            expected = reference_execute(diff_db, query)
+            expected = reference_execute(db, query)
             report = runner.run(query)
             assert report.final_table is not None, (SEED, index)
             actual = canonicalize_table(report.final_table)
             assert_results_match(
                 expected, actual,
-                context=f"query (seed={SEED}, index={index}) [{query.name}]")
+                context=f"query (seed={SEED}, index={index}, "
+                        f"accelerated={accelerated}) [{query.name}]")
 
     def test_oracle_catches_an_injected_fault(self, diff_db):
         """Sanity: the harness is actually able to fail (no vacuous pass)."""

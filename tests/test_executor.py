@@ -120,8 +120,8 @@ def brute_force_count(db, year_cutoff=2000, kw_prefix="kw_0", gender="f"):
     t, mk, k, ci, n = (db.table(x) for x in ("t", "mk", "k", "ci", "n"))
     t_ok = set(t.column("id")[t.column("year") > year_cutoff].tolist())
     k_ok = set(k.column("id")[[str(v).startswith(kw_prefix)
-                               for v in k.column("kw")]].tolist())
-    n_ok = set(n.column("id")[n.column("gender") == gender].tolist())
+                               for v in k.column_values("kw")]].tolist())
+    n_ok = set(n.column("id")[n.column_values("gender") == gender].tolist())
     mk_rows = [(m, kw) for m, kw in zip(mk.column("movie_id"), mk.column("keyword_id"))
                if m in t_ok and kw in k_ok]
     ci_rows = [(m, p) for m, p in zip(ci.column("movie_id"), ci.column("person_id"))

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Append the storage/executor microbenchmark headlines to a trend file.
+
+Runs the two hot-path microbenchmarks (`bench_scan_pruning` and
+`bench_compiled_scan`) at a smoke scale and appends one entry --
+
+```json
+{"rev": "<git short rev>", "recorded_at": "<ISO-8601 UTC>",
+ "scan_pruning": {...summary...}, "compiled_scan": {...summary...}}
+```
+
+-- to the committed ``BENCH_microbench.json`` trend file, so speedup
+regressions are visible as a time series across PRs rather than only as a
+pass/fail bar in ``benchmarks/``.  Re-running on the same revision
+replaces that revision's entry instead of duplicating it.
+
+Usage (CI runs this after the benchmark step; locally, run before
+committing perf-relevant changes)::
+
+    PYTHONPATH=src python tools/microbench_trend.py
+    PYTHONPATH=src python tools/microbench_trend.py --num-rows 200000 --out BENCH_microbench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMA_VERSION = 1
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_trend(path: Path) -> dict:
+    if path.exists():
+        data = json.loads(path.read_text())
+        if data.get("schema_version") != SCHEMA_VERSION:
+            raise SystemExit(
+                f"{path}: unsupported schema_version {data.get('schema_version')}")
+        return data
+    return {"schema_version": SCHEMA_VERSION, "entries": []}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_microbench.json",
+                        help="trend file to append to (default: committed "
+                             "BENCH_microbench.json)")
+    parser.add_argument("--num-rows", type=int, default=120_000,
+                        help="rows per microbenchmark table (smoke default)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per timed cell")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.experiments import bench_compiled_scan, bench_scan_pruning
+
+    scan = bench_scan_pruning.run(num_rows=args.num_rows,
+                                  repeats=args.repeats, verbose=False)
+    compiled = bench_compiled_scan.run(num_rows=args.num_rows,
+                                       repeats=args.repeats, verbose=False)
+
+    entry = {
+        "rev": git_rev(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "num_rows": args.num_rows,
+        "repeats": args.repeats,
+        "scan_pruning": scan.summary,
+        "compiled_scan": compiled.summary,
+    }
+    trend = load_trend(args.out)
+    trend["entries"] = [e for e in trend["entries"]
+                        if e.get("rev") != entry["rev"]] + [entry]
+    args.out.write_text(json.dumps(trend, indent=2, sort_keys=True) + "\n")
+
+    best_prune = entry["scan_pruning"].get("best_speedup_at_1pct")
+    speedups = entry["compiled_scan"].get("speedups", {})
+    print(f"appended {entry['rev']} to {args.out} "
+          f"({len(trend['entries'])} entries): "
+          f"scan_pruning best@1%={best_prune and f'{best_prune:.2f}x'}, "
+          f"compiled string_eq/full="
+          f"{speedups.get('string_eq/full', 0):.2f}x, "
+          f"multi3/full={speedups.get('multi3/full', 0):.2f}x, "
+          f"semijoin={entry['compiled_scan'].get('semijoin_speedup', 0):.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
