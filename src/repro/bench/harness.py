@@ -85,6 +85,50 @@ def run_workload(database: Database, queries: Sequence[Query], algorithm: str,
     return result
 
 
+def serve_generated(generator, n: int, algorithm: str, *,
+                    workers: int = 4,
+                    users: int = 8,
+                    rate: float = 16.0,
+                    queue_capacity: int = 16,
+                    admission: str = "shed",
+                    timeout_seconds: float | None = 30.0,
+                    subplan_cache: SubplanCache | None = None,
+                    seed: int | None = None,
+                    time_scale: float = 1.0,
+                    keep_results: bool = False):
+    """Served mode: drive ``n`` generated queries through the engine server.
+
+    The concurrent counterpart of :func:`run_generated`: the queries at
+    stream positions ``0 .. n - 1`` are submitted by ``users`` simulated
+    users whose Poisson schedules sum to ``rate`` arrivals per virtual
+    second, admitted through a bounded queue (``admission`` is ``"shed"``
+    or ``"block"``), and executed by ``workers`` threads — each against
+    its own session view of the generator's database, sharing
+    ``subplan_cache`` when given.  Returns a
+    :class:`~repro.serving.driver.ServingResult` whose ``summary`` holds
+    p50/p95/p99 latency and throughput; ``result.workload_result(algorithm)``
+    recovers the harness-shaped per-query reports.  See ARCHITECTURE.md
+    ("Serving") for the full driver → queue → pool → reporter pipeline.
+    """
+    from repro.serving.admission import AdmissionPolicy
+    from repro.serving.driver import run_served
+    from repro.serving.schedule import Repeat, UserSpec, build_arrivals
+    from repro.serving.server import ServingConfig
+
+    queries = generator.generate(n)
+    per_user = -(-n // max(users, 1))  # ceil: enough events before the cap
+    specs = tuple(UserSpec(uid, Repeat(rate=rate / users, count=per_user))
+                  for uid in range(users))
+    arrivals = build_arrivals(
+        specs, seed=generator.seed if seed is None else seed, max_events=n)
+    config = ServingConfig(
+        algorithm=algorithm, workers=workers, queue_capacity=queue_capacity,
+        admission=AdmissionPolicy(admission), timeout_seconds=timeout_seconds,
+        subplan_cache=subplan_cache, keep_results=keep_results)
+    return run_served(generator.database, queries, arrivals, config,
+                      time_scale=time_scale)
+
+
 def run_generated(generator, n: int, algorithm: str,
                   config: HarnessConfig | None = None,
                   start: int = 0) -> WorkloadResult:

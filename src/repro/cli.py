@@ -15,7 +15,13 @@ The runner is the orchestration layer on top of the experiment registry
   completed experiment is persisted as a schema-versioned JSON artifact
   under ``--results-dir`` and **skipped on re-run** (unless ``--force`` or
   the pinned knobs changed), which makes large sweeps resumable;
-* ``report`` — merge the persisted artifacts into ``BENCH_summary.json``.
+* ``report`` — merge the persisted artifacts into ``BENCH_summary.json``;
+* ``serve``  — one served run through the concurrent engine server
+  (:mod:`repro.serving`): simulated users on seeded arrival schedules,
+  bounded-queue admission control, a worker-thread pool, and a printed
+  p50/p95/p99 latency + throughput report.  The registered
+  ``bench_serving`` experiment sweeps the same axes and persists
+  artifacts like every other experiment.
 
 See EXPERIMENTS.md for per-experiment invocations and the artifact schema.
 """
@@ -360,6 +366,44 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="merge persisted artifacts into the summary file")
     report_cmd.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
     report_cmd.add_argument("--summary", default=DEFAULT_SUMMARY)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="served mode: drive a generated stream through the concurrent "
+             "engine server and print the latency/throughput report")
+    serve_cmd.add_argument("--workload", default="imdb",
+                           choices=["imdb", "tpch", "dsb"],
+                           help="benchmark database to serve (default: imdb)")
+    serve_cmd.add_argument("--scale", type=float, default=0.25,
+                           help="data scale factor (default: 0.25)")
+    serve_cmd.add_argument("--algorithm", default="QuerySplit",
+                           help="policy executing every query "
+                                "(default: QuerySplit)")
+    serve_cmd.add_argument("--queries", type=int, default=100,
+                           help="generated-stream length (default: 100)")
+    serve_cmd.add_argument("--workers", type=int, default=4,
+                           help="engine worker threads (default: 4)")
+    serve_cmd.add_argument("--users", type=int, default=8,
+                           help="simulated users submitting the stream "
+                                "(default: 8)")
+    serve_cmd.add_argument("--rate", type=float, default=16.0,
+                           help="aggregate arrival rate, queries/second "
+                                "(default: 16)")
+    serve_cmd.add_argument("--admission", default="shed",
+                           choices=["shed", "block"],
+                           help="full-queue policy (default: shed)")
+    serve_cmd.add_argument("--queue-capacity", type=int, default=8,
+                           help="admission queue depth (default: 8)")
+    serve_cmd.add_argument("--timeout", type=float, default=10.0,
+                           help="per-query execution budget in seconds "
+                                "(default: 10)")
+    serve_cmd.add_argument("--seed", type=int, default=17,
+                           help="stream + schedule seed (default: 17)")
+    serve_cmd.add_argument("--time-scale", type=float, default=1.0,
+                           help="wall seconds per schedule second (<1 "
+                                "compresses the schedule; default: 1.0)")
+    serve_cmd.add_argument("--no-cache", action="store_true",
+                           help="disable the shared cross-query subplan cache")
     return parser
 
 
@@ -422,6 +466,49 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 1 if any(s.status == "failed" for s in statuses) else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """One served run (driver → admission queue → worker pool → report)."""
+    from repro.bench.harness import serve_generated
+    from repro.executor.subplan_cache import SubplanCache
+    from repro.storage.database import IndexConfig
+    from repro.workloads.sqlgen import RandomQueryGenerator
+
+    database = dbcache.build(args.workload, scale=args.scale,
+                             index_config=IndexConfig.PK_FK)
+    generator = RandomQueryGenerator(database, seed=args.seed,
+                                     name_prefix="serve")
+    cache = None if args.no_cache else SubplanCache()
+    result = serve_generated(
+        generator, args.queries, args.algorithm,
+        workers=args.workers, users=args.users, rate=args.rate,
+        queue_capacity=args.queue_capacity, admission=args.admission,
+        timeout_seconds=args.timeout, subplan_cache=cache,
+        seed=args.seed, time_scale=args.time_scale)
+    s = result.summary
+    rows = [
+        ["offered", s["offered"]],
+        ["completed", s["completed"]],
+        ["shed", s["shed"]],
+        ["timeouts", s["timeouts"]],
+        ["errors", s["errors"]],
+        ["throughput", f"{s['throughput_qps']:.1f} qps"],
+        ["p50 latency", format_seconds(s["p50_latency"])],
+        ["p95 latency", format_seconds(s["p95_latency"])],
+        ["p99 latency", format_seconds(s["p99_latency"])],
+        ["mean queue wait", format_seconds(s["mean_queue_wait"])],
+        ["wall clock", format_seconds(result.wall_seconds)],
+    ]
+    if cache is not None:
+        rows.append(["cache hit rate", f"{cache.hit_rate:.1%}"])
+    print(format_table(
+        ["Metric", "Value"], rows,
+        title=f"served {args.workload} x{args.scale:g} — "
+              f"{args.algorithm}, {args.workers} workers, "
+              f"{args.users} users @ {args.rate:g} qps, "
+              f"{args.admission} queue({args.queue_capacity})"))
+    return 1 if s["errors"] else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     summary = write_summary(args.results_dir, args.summary)
     experiments = summary["experiments"]
@@ -439,7 +526,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"list": cmd_list, "run": cmd_run, "report": cmd_report}
+    handlers = {"list": cmd_list, "run": cmd_run, "report": cmd_report,
+                "serve": cmd_serve}
     return handlers[args.command](args)
 
 

@@ -34,6 +34,7 @@ databases.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterable
 
@@ -83,6 +84,16 @@ class SubplanCache:
     (``max_bytes``) -- a chunk costs roughly 8 bytes per row per source
     relation, so a handful of wide 2M-row subtrees would otherwise dwarf the
     entry-count bound.
+
+    The cache is **thread-safe**: every public operation (including the
+    counter updates and the eviction loop inside :meth:`put`) runs under one
+    internal lock, so the serving layer (:mod:`repro.serving`) can share a
+    single instance across a pool of worker threads.  Cached chunks are
+    treated as immutable by every consumer, so handing the same chunk to two
+    concurrent executors is safe.  The byte accounting
+    (``total_bytes == sum(per-entry bytes) <= max_bytes`` after any put)
+    holds under arbitrary interleavings; ``tests/test_subplan_cache_concurrency.py``
+    hammers exactly these invariants.
     """
 
     def __init__(self, max_entries: int = 256, max_rows: int = 2_000_000,
@@ -93,6 +104,7 @@ class SubplanCache:
         self._entries: OrderedDict[Signature, Chunk] = OrderedDict()
         self._entry_bytes: dict[Signature, int] = {}
         self._database = None
+        self._lock = threading.RLock()
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -104,15 +116,20 @@ class SubplanCache:
         Signatures name tables, not data, so a cache reused against a
         *different* database instance would silently serve the old
         database's rows.  Every consumer (executor, oracle) binds on
-        construction, turning that misuse into a loud error.
+        construction, turning that misuse into a loud error.  Session views
+        (:meth:`repro.storage.database.Database.session_view`) of one loaded
+        database expose the same data, so binding compares *origins*: every
+        view of an already-bound database is accepted.
         """
-        if self._database is None:
-            self._database = database
-        elif self._database is not database:
-            raise ValueError(
-                "SubplanCache is already bound to a different Database "
-                "instance; use one cache per loaded database (or clear() a "
-                "cache before reusing it, after rebuilding its consumers)")
+        database = getattr(database, "origin", database)
+        with self._lock:
+            if self._database is None:
+                self._database = database
+            elif self._database is not database:
+                raise ValueError(
+                    "SubplanCache is already bound to a different Database "
+                    "instance; use one cache per loaded database (or clear() a "
+                    "cache before reusing it, after rebuilding its consumers)")
 
     @staticmethod
     def _chunk_bytes(chunk: Chunk) -> int:
@@ -126,39 +143,41 @@ class SubplanCache:
     # ------------------------------------------------------------------
     def get(self, signature: Signature) -> Chunk | None:
         """Cached chunk for ``signature``, or None."""
-        try:
-            chunk = self._entries.get(signature)
-        except TypeError:  # unhashable literal somewhere in a predicate
-            return None
-        if chunk is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(signature)
-        self.hits += 1
-        return chunk
+        with self._lock:
+            try:
+                chunk = self._entries.get(signature)
+            except TypeError:  # unhashable literal somewhere in a predicate
+                return None
+            if chunk is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.hits += 1
+            return chunk
 
     def put(self, signature: Signature, chunk: Chunk) -> None:
         """Store a subtree result unless the keying rules forbid it."""
         cost = self._chunk_bytes(chunk)
-        if (chunk.num_rows > self.max_rows or cost > self.max_bytes
-                or _touches_temp(signature)):
-            self.rejected += 1
-            return
-        try:
-            previous = self._entries.get(signature)
-            self._entries[signature] = chunk
-        except TypeError:
-            self.rejected += 1
-            return
-        if previous is not None:
-            self.total_bytes -= self._entry_bytes[signature]
-        self._entry_bytes[signature] = cost
-        self.total_bytes += cost
-        self._entries.move_to_end(signature)
-        while (len(self._entries) > self.max_entries
-               or self.total_bytes > self.max_bytes):
-            evicted_sig, _chunk = self._entries.popitem(last=False)
-            self.total_bytes -= self._entry_bytes.pop(evicted_sig)
+        with self._lock:
+            if (chunk.num_rows > self.max_rows or cost > self.max_bytes
+                    or _touches_temp(signature)):
+                self.rejected += 1
+                return
+            try:
+                previous = self._entries.get(signature)
+                self._entries[signature] = chunk
+            except TypeError:
+                self.rejected += 1
+                return
+            if previous is not None:
+                self.total_bytes -= self._entry_bytes[signature]
+            self._entry_bytes[signature] = cost
+            self.total_bytes += cost
+            self._entries.move_to_end(signature)
+            while (len(self._entries) > self.max_entries
+                   or self.total_bytes > self.max_bytes):
+                evicted_sig, _chunk = self._entries.popitem(last=False)
+                self.total_bytes -= self._entry_bytes.pop(evicted_sig)
 
     def peek(self, signature: Signature) -> Chunk | None:
         """Non-mutating lookup: no hit/miss counters, no LRU promotion.
@@ -167,10 +186,11 @@ class SubplanCache:
         probe per DP subset), so speculative probes neither distort the
         executor-reuse hit rate nor evict entries the executor would reuse.
         """
-        try:
-            return self._entries.get(signature)
-        except TypeError:
-            return None
+        with self._lock:
+            try:
+                return self._entries.get(signature)
+            except TypeError:
+                return None
 
     def lookup_rows(self, signature: Signature) -> int | None:
         """Exact row count of a cached subtree (for cardinality probes)."""
@@ -191,13 +211,39 @@ class SubplanCache:
 
     def clear(self) -> None:
         """Drop every entry, reset the counters, and unbind the database."""
-        self._entries.clear()
-        self._entry_bytes.clear()
-        self._database = None
-        self.total_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.rejected = 0
+        with self._lock:
+            self._entries.clear()
+            self._entry_bytes.clear()
+            self._database = None
+            self.total_bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.rejected = 0
+
+    def check_invariants(self) -> list[str]:
+        """Every violated structural invariant (empty list = consistent).
+
+        Taken under the lock, so a concurrent stress test can interleave
+        checks with live traffic and still observe a consistent snapshot:
+        the entry map and the byte ledger must track the same signatures,
+        ``total_bytes`` must equal the ledger sum, and both budgets must
+        hold whenever the cache is at rest.
+        """
+        with self._lock:
+            problems: list[str] = []
+            if set(self._entries) != set(self._entry_bytes):
+                problems.append("entry map and byte ledger disagree on keys")
+            ledger = sum(self._entry_bytes.values())
+            if self.total_bytes != ledger:
+                problems.append(
+                    f"total_bytes={self.total_bytes} != ledger sum {ledger}")
+            if self.total_bytes > self.max_bytes:
+                problems.append(
+                    f"total_bytes={self.total_bytes} exceeds budget {self.max_bytes}")
+            if len(self._entries) > self.max_entries:
+                problems.append(
+                    f"{len(self._entries)} entries exceed max {self.max_entries}")
+            return problems
 
     def __repr__(self) -> str:
         return (f"SubplanCache(entries={len(self._entries)}, "

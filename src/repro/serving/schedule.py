@@ -1,0 +1,138 @@
+"""Seeded per-user arrival schedules (the workload side of serving).
+
+A served workload is a set of simulated users, each owning a
+:class:`Schedule` that says *when* that user submits queries on a shared
+virtual-time axis (seconds since the run started).  Two schedule shapes
+cover the usual driver patterns:
+
+* :class:`Once`   -- submit a single query at a fixed offset (a batch of
+  ``Once(0)`` users models a closed burst);
+* :class:`Repeat` -- submit a stream of queries at a target rate, either
+  with exponential (Poisson-process) gaps or fixed gaps.
+
+:func:`build_arrivals` merges every user's schedule into one globally
+ordered event stream and assigns each event its query: arrival ``i`` in
+global order executes stream position ``i`` of a seeded
+:class:`~repro.workloads.sqlgen.RandomQueryGenerator` stream.  The whole
+event stream is a **pure function of ``(users, seed)``**: per-user gaps
+are drawn from ``numpy``'s counter-based ``default_rng([seed, user_id])``,
+and ties are broken deterministically, so the same inputs always yield
+the identical admission-relevant ordering — the property
+``tests/test_serving.py`` locks in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Hard per-user event cap so a misconfigured unbounded schedule cannot
+#: spin forever while materializing the stream.
+MAX_EVENTS_PER_USER = 1_000_000
+
+
+@dataclass(frozen=True)
+class Once:
+    """Submit exactly one query, ``at`` seconds into the run."""
+
+    at: float = 0.0
+
+    def arrival_times(self, rng: np.random.Generator,
+                      max_events: int) -> list[float]:
+        if max_events <= 0:
+            return []
+        return [float(self.at)]
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """Submit ``count`` queries at ``rate`` per (virtual) second.
+
+    ``jitter="poisson"`` draws exponential inter-arrival gaps with mean
+    ``1/rate`` (an open-loop Poisson stream, the standard load-driver
+    model); ``jitter="none"`` uses fixed ``1/rate`` gaps (a metronome).
+    """
+
+    rate: float
+    count: int
+    start: float = 0.0
+    jitter: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"Repeat.rate must be positive, got {self.rate}")
+        if self.count < 0:
+            raise ValueError(f"Repeat.count must be >= 0, got {self.count}")
+        if self.jitter not in ("poisson", "none"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+
+    def arrival_times(self, rng: np.random.Generator,
+                      max_events: int) -> list[float]:
+        n = min(self.count, max_events)
+        if n <= 0:
+            return []
+        if self.jitter == "poisson":
+            gaps = rng.exponential(1.0 / self.rate, n)
+        else:
+            gaps = np.full(n, 1.0 / self.rate)
+        return list(self.start + np.cumsum(gaps))
+
+
+@dataclass(frozen=True)
+class UserSpec:
+    """One simulated user: an id (also the per-user RNG key) + a schedule."""
+
+    user_id: int
+    schedule: Once | Repeat
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One event of the merged stream.
+
+    ``index`` is the event's position in global arrival order — and, by
+    convention, the query-stream position it executes (the served run on a
+    seeded generator runs ``generator.query_at(arrival.index)``), which is
+    what makes served and sequential runs directly comparable per query.
+    ``user_seq`` is the event's position within its own user's schedule.
+    """
+
+    time: float
+    user_id: int
+    user_seq: int
+    index: int
+
+
+def build_arrivals(users: list[UserSpec] | tuple[UserSpec, ...], seed: int,
+                   max_events: int | None = None) -> tuple[Arrival, ...]:
+    """Merge every user's schedule into one deterministic event stream.
+
+    Events are sorted by ``(time, user_id, user_seq)`` — the tie-break on
+    the user id keeps simultaneous arrivals (e.g. many ``Once(0)`` users)
+    in a reproducible order — then truncated to ``max_events`` and given
+    their global ``index``.  Pure function of ``(users, seed,
+    max_events)``; no clock, no global RNG state.
+    """
+    if len({user.user_id for user in users}) != len(users):
+        raise ValueError("user_ids must be unique (they key the per-user RNG)")
+    per_user_cap = MAX_EVENTS_PER_USER if max_events is None else max_events
+    events: list[tuple[float, int, int]] = []
+    for user in users:
+        rng = np.random.default_rng([int(seed), int(user.user_id)])
+        for seq, t in enumerate(user.schedule.arrival_times(rng, per_user_cap)):
+            events.append((float(t), user.user_id, seq))
+    events.sort()
+    if max_events is not None:
+        events = events[:max_events]
+    return tuple(Arrival(time=t, user_id=uid, user_seq=seq, index=i)
+                 for i, (t, uid, seq) in enumerate(events))
+
+
+def uniform_users(num_users: int, rate_per_user: float,
+                  queries_per_user: int) -> tuple[UserSpec, ...]:
+    """A homogeneous open-loop population (the bench_serving sweep shape)."""
+    return tuple(
+        UserSpec(user_id=uid,
+                 schedule=Repeat(rate=rate_per_user, count=queries_per_user))
+        for uid in range(num_users))

@@ -67,6 +67,12 @@ class Database:
         self._indexes: dict[tuple[str, str], SortedIndex] = {}
         self._temp_tables: dict[str, TempTableEntry] = {}
         self._temp_counter = 0
+        #: The database whose loaded data this instance exposes.  For a
+        #: directly loaded database this is ``self``; a :meth:`session_view`
+        #: shares its parent's origin, so consumers that must not be shared
+        #: across *data* (e.g. :class:`~repro.executor.subplan_cache
+        #: .SubplanCache`) can compare origins instead of instances.
+        self.origin: "Database" = self
 
     # ------------------------------------------------------------------
     # Base table management
@@ -183,6 +189,37 @@ class Database:
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
+    def session_view(self) -> "Database":
+        """A per-session view: shared base data, private temporary tables.
+
+        Re-optimization algorithms mutate the database while they run —
+        they :meth:`register_temp` materialized intermediates and
+        :meth:`drop_temp_tables` *all* of them when a query finishes.  Two
+        queries running concurrently against the same instance would
+        therefore drop each other's temporaries mid-flight.  A session view
+        shares the loaded base tables, statistics, and indexes **by
+        reference** (all read-only after load) but keeps its own temporary
+        namespace, so each serving worker executes against its own view
+        while paying zero data-copy cost.
+
+        Views share :attr:`origin` with their parent, which is how the
+        (lock-protected) subplan cache recognizes that chunks cached through
+        one view are valid for every sibling view.  Do not load further base
+        tables through a view or its parent once views exist.
+        """
+        view = Database.__new__(Database)
+        view.schema = self.schema
+        view.index_config = self.index_config
+        view.block_size = self.block_size
+        view.dict_encode = self.dict_encode
+        view._tables = self._tables
+        view._stats = self._stats
+        view._indexes = self._indexes
+        view._temp_tables = {}
+        view._temp_counter = 0
+        view.origin = self.origin
+        return view
+
     def with_index_config(self, index_config: IndexConfig) -> "Database":
         """Return a new database over the same data with a different index setup."""
         clone = Database(self.schema, index_config=index_config,

@@ -1,0 +1,101 @@
+"""Served-mode results must be bit-identical to the sequential harness.
+
+The serving layer changes *when* and *where* queries run — worker
+threads, session views, a shared lock-protected subplan cache — but must
+never change *what* they return.  This module locks that in with the
+strongest check available: a 200-query generated stream (the same
+differential database and sqlgen plumbing as ``tests/test_differential``)
+is executed once sequentially to produce per-query reference results,
+then served concurrently under **every** registered re-optimization
+policy plus the Default baseline, with the shared subplan cache both on
+and off.  Every served result must match its sequential reference under
+:func:`tests.reference_eval.assert_results_match` (exact counts, keys,
+and min/max; 1e-9 relative on float sums, since join re-association is
+legitimate).
+
+BLOCK admission with no timeout guarantees all 200 queries execute in
+every configuration, so a pass is a statement about the full stream, not
+a lucky admitted subset.  A mismatch fails with the reproducing
+``(policy, cache, seed, index)`` tuple.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.executor.subplan_cache import SubplanCache
+from repro.reopt.registry import REOPT_ALGORITHMS
+from repro.serving.admission import AdmissionPolicy
+from repro.serving.driver import run_served
+from repro.serving.schedule import build_arrivals, uniform_users
+from repro.serving.server import ServingConfig
+from tests.reference_eval import assert_results_match, canonicalize_table
+from tests.test_differential import (
+    SEED,
+    build_differential_database,
+    make_stream,
+)
+
+N_QUERIES = 200
+POLICIES = REOPT_ALGORITHMS + ("Default",)
+
+
+@pytest.fixture(scope="module")
+def diff_db():
+    return build_differential_database()
+
+
+@pytest.fixture(scope="module")
+def stream_queries(diff_db):
+    return make_stream(diff_db).generate(N_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def sequential_reference(diff_db, stream_queries):
+    """Canonicalized per-query results from the plain sequential harness."""
+    from repro.bench.harness import HarnessConfig, run_workload
+    result = run_workload(diff_db, stream_queries, "Default",
+                          HarnessConfig(timeout_seconds=None))
+    assert len(result.reports) == N_QUERIES
+    return [canonicalize_table(report.final_table)
+            for report in result.reports]
+
+
+@pytest.mark.parametrize("cache_on", [False, True], ids=["nocache", "cache"])
+@pytest.mark.parametrize("policy", POLICIES)
+def test_served_results_match_sequential(diff_db, stream_queries,
+                                         sequential_reference, policy,
+                                         cache_on):
+    # 8 users at 100 qps each: the whole schedule spans ~0.25 virtual
+    # seconds, so the run is execution-bound, not pacing-bound.
+    arrivals = build_arrivals(uniform_users(8, 100.0, 25), seed=SEED,
+                              max_events=N_QUERIES)
+    cache = SubplanCache() if cache_on else None
+    config = ServingConfig(
+        algorithm=policy, workers=4, queue_capacity=16,
+        admission=AdmissionPolicy.BLOCK,  # back-pressure: nothing shed
+        timeout_seconds=None,             # nothing clipped
+        subplan_cache=cache, keep_results=True)
+    result = run_served(diff_db, stream_queries, arrivals, config)
+
+    summary = result.summary
+    assert summary["completed"] == N_QUERIES, summary
+    assert summary["shed"] == 0 and summary["errors"] == 0, summary
+    assert len(result.outcomes) == N_QUERIES
+
+    for outcome in result.outcomes:
+        assert outcome.report is not None and not outcome.timed_out
+        assert outcome.report.final_table is not None
+        served = canonicalize_table(outcome.report.final_table)
+        assert_results_match(
+            sequential_reference[outcome.index], served,
+            context=f"served {policy} "
+                    f"(cache={'shared' if cache_on else 'off'}, "
+                    f"seed={SEED}, index={outcome.index}) "
+                    f"[{outcome.query_name}]")
+
+    if cache_on:
+        # The cache must have been exercised by the pool, and its byte
+        # ledger must close out consistent after the concurrent traffic.
+        assert cache.hits > 0
+        assert cache.check_invariants() == []

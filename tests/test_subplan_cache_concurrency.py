@@ -1,0 +1,173 @@
+"""Thread-safety stress tests for the engine-level SubplanCache.
+
+The serving layer (:mod:`repro.serving`) shares one
+:class:`~repro.executor.subplan_cache.SubplanCache` across a pool of
+worker threads, so the cache's byte-budget ledger and hit/miss counters
+must stay exact under arbitrary interleavings of ``get``/``put`` and the
+eviction loop.  These tests hammer those paths directly with synthetic
+signatures and chunks (no query execution): the budgets are set small
+enough that almost every ``put`` races an eviction, and
+:meth:`~repro.executor.subplan_cache.SubplanCache.check_invariants` is
+polled *while* the writers run, not only after they finish.
+
+What a failure means:
+
+* a ledger/entry-map mismatch or a ``total_bytes`` drift -- a lost update
+  in ``put``'s accounting or the eviction loop;
+* ``hits + misses != issued gets`` -- a torn counter increment;
+* a chunk coming back with the wrong row count -- cross-key corruption.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.executor.chunk import Chunk
+from repro.executor.subplan_cache import SubplanCache
+
+N_SIGNATURES = 32
+N_THREADS = 8
+OPS_PER_THREAD = 1500
+
+
+def make_signature(i: int):
+    """A synthetic, hashable, non-temp signature (scan[3] is ``is_temp``)."""
+    return (frozenset({(f"table_{i}", f"t{i}", (), False)}), frozenset())
+
+
+def expected_rows(i: int) -> int:
+    return 10 + i
+
+
+def make_chunk(i: int) -> Chunk:
+    """A sourceless chunk costing ``expected_rows(i) * 8`` ledger bytes."""
+    return Chunk(sources=(), num_rows=expected_rows(i))
+
+
+class TestConcurrentStress:
+    def _hammer(self, cache: SubplanCache, put_fraction: float):
+        """Run N_THREADS workers of mixed get/put traffic; return tallies."""
+        signatures = [make_signature(i) for i in range(N_SIGNATURES)]
+        barrier = threading.Barrier(N_THREADS)
+        violations: list[str] = []
+        gets = [0] * N_THREADS
+        corrupt: list[tuple[int, int, int]] = []
+
+        def worker(thread_id: int) -> None:
+            rng = random.Random(thread_id)
+            barrier.wait()
+            for op in range(OPS_PER_THREAD):
+                i = rng.randrange(N_SIGNATURES)
+                if rng.random() < put_fraction:
+                    cache.put(signatures[i], make_chunk(i))
+                else:
+                    gets[thread_id] += 1
+                    chunk = cache.get(signatures[i])
+                    if chunk is not None and chunk.num_rows != expected_rows(i):
+                        corrupt.append((i, expected_rows(i), chunk.num_rows))
+                if op % 100 == 0:
+                    # Interleaved invariant probe: must see a consistent
+                    # snapshot even while every other thread is mutating.
+                    violations.extend(cache.check_invariants())
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return gets, violations, corrupt
+
+    def test_byte_budget_and_counters_exact_under_eviction_races(self):
+        # Chunk costs range 80..328 bytes; ~2000 bytes holds only a handful
+        # of entries, so puts constantly race the eviction loop.
+        cache = SubplanCache(max_entries=16, max_rows=1_000_000,
+                             max_bytes=2000)
+        gets, violations, corrupt = self._hammer(cache, put_fraction=0.4)
+
+        assert violations == []
+        assert cache.check_invariants() == []
+        assert corrupt == [], f"cross-key corruption: {corrupt[:5]}"
+        # Every get incremented exactly one of hits/misses -- a torn
+        # ``self.hits += 1`` would lose updates here.
+        assert cache.hits + cache.misses == sum(gets)
+        # Nothing in this workload is cache-ineligible.
+        assert cache.rejected == 0
+        # The budget held at rest, and the survivors carry correct values.
+        assert cache.total_bytes <= cache.max_bytes
+        assert len(cache) <= cache.max_entries
+        for i in range(N_SIGNATURES):
+            chunk = cache.peek(make_signature(i))
+            if chunk is not None:
+                assert chunk.num_rows == expected_rows(i)
+
+    def test_entry_count_budget_under_put_heavy_traffic(self):
+        # Generous bytes, tiny entry count: eviction is driven purely by
+        # ``max_entries``, exercising the other branch of the loop.
+        cache = SubplanCache(max_entries=4, max_rows=1_000_000,
+                             max_bytes=1 << 30)
+        gets, violations, corrupt = self._hammer(cache, put_fraction=0.8)
+        assert violations == []
+        assert corrupt == []
+        assert cache.check_invariants() == []
+        assert len(cache) <= 4
+        assert cache.hits + cache.misses == sum(gets)
+
+
+class TestCounterAtomicity:
+    def test_hit_counter_is_exact_on_a_hot_entry(self):
+        """All threads hitting one resident entry: hits must equal gets."""
+        cache = SubplanCache()
+        signature = make_signature(0)
+        cache.put(signature, make_chunk(0))
+        per_thread = 4000
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(per_thread):
+                assert cache.get(signature) is not None
+
+        threads = [threading.Thread(target=worker) for _ in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.hits == N_THREADS * per_thread
+        assert cache.misses == 0
+
+
+class TestConcurrentBind:
+    class _FakeDB:
+        """Stands in for a Database: bind only consults ``origin``."""
+
+        def __init__(self, origin=None):
+            self.origin = origin if origin is not None else self
+
+    def test_sibling_views_bind_concurrently_others_rejected(self):
+        base = self._FakeDB()
+        views = [self._FakeDB(origin=base) for _ in range(N_THREADS)]
+        cache = SubplanCache()
+        barrier = threading.Barrier(N_THREADS)
+        errors: list[Exception] = []
+
+        def worker(view) -> None:
+            barrier.wait()
+            try:
+                for _ in range(50):
+                    cache.bind(view)
+            except Exception as exc:  # noqa: BLE001 -- collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(view,))
+                   for view in views]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        with pytest.raises(ValueError):
+            cache.bind(self._FakeDB())

@@ -2,11 +2,13 @@
 """Append the storage/executor microbenchmark headlines to a trend file.
 
 Runs the two hot-path microbenchmarks (`bench_scan_pruning` and
-`bench_compiled_scan`) at a smoke scale and appends one entry --
+`bench_compiled_scan`) plus a reduced `bench_serving` sweep at a smoke
+scale and appends one entry --
 
 ```json
 {"rev": "<git short rev>", "recorded_at": "<ISO-8601 UTC>",
- "scan_pruning": {...summary...}, "compiled_scan": {...summary...}}
+ "scan_pruning": {...summary...}, "compiled_scan": {...summary...},
+ "serving": {"p95_under_load": ..., "peak_throughput_qps": ...}}
 ```
 
 -- to the committed ``BENCH_microbench.json`` trend file, so speedup
@@ -63,15 +65,29 @@ def main(argv: list[str] | None = None) -> int:
                         help="rows per microbenchmark table (smoke default)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats per timed cell")
+    parser.add_argument("--serving-scale", type=float, default=0.1,
+                        help="database scale of the serving smoke sweep")
+    parser.add_argument("--serving-queries", type=int, default=32,
+                        help="stream length of the serving smoke sweep")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.experiments import bench_compiled_scan, bench_scan_pruning
+    from repro.experiments import (
+        bench_compiled_scan,
+        bench_scan_pruning,
+        bench_serving,
+    )
 
     scan = bench_scan_pruning.run(num_rows=args.num_rows,
                                   repeats=args.repeats, verbose=False)
     compiled = bench_compiled_scan.run(num_rows=args.num_rows,
                                        repeats=args.repeats, verbose=False)
+    # Reduced serving smoke: only the two cells the headline needs (the
+    # single-worker saturation point and the loaded max-concurrency cell).
+    served = bench_serving.run(scale=args.serving_scale,
+                               queries=args.serving_queries,
+                               workers_sweep=(1, 4), rates=(64.0,),
+                               policies=("shed",), verbose=False)
 
     entry = {
         "rev": git_rev(),
@@ -81,6 +97,9 @@ def main(argv: list[str] | None = None) -> int:
         "repeats": args.repeats,
         "scan_pruning": scan.summary,
         "compiled_scan": compiled.summary,
+        "serving": dict(served.data["headline"],
+                        scale=args.serving_scale,
+                        queries=args.serving_queries),
     }
     trend = load_trend(args.out)
     trend["entries"] = [e for e in trend["entries"]
@@ -95,7 +114,9 @@ def main(argv: list[str] | None = None) -> int:
           f"compiled string_eq/full="
           f"{speedups.get('string_eq/full', 0):.2f}x, "
           f"multi3/full={speedups.get('multi3/full', 0):.2f}x, "
-          f"semijoin={entry['compiled_scan'].get('semijoin_speedup', 0):.2f}x")
+          f"semijoin={entry['compiled_scan'].get('semijoin_speedup', 0):.2f}x, "
+          f"serving p95@load={entry['serving']['p95_under_load'] * 1e3:.1f}ms "
+          f"({entry['serving']['peak_throughput_qps']:.1f} qps peak)")
     return 0
 
 
