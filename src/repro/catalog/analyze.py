@@ -74,10 +74,18 @@ def analyze_table(table, **kwargs) -> TableStats:
     Dictionary-encoded columns are analyzed over their decoded values
     (uncached -- ANALYZE is a one-shot whole-column read), so statistics
     such as MCVs hold real strings regardless of the storage encoding.
+    Mutated tables are analyzed over their **live** rows only (the
+    valid-row mask excludes deleted rows), so a re-ANALYZE after deletes
+    reports the row count and value distribution a rebuilt table would.
     """
     columns = {name: table.column_values(name, cache=False)
                for name in table.columns}
-    return analyze_columns(columns, num_rows=table.num_rows, **kwargs)
+    num_rows = table.num_rows
+    if getattr(table, "valid_mask", None) is not None:
+        valid = table.valid_row_ids()
+        columns = {name: values[valid] for name, values in columns.items()}
+        num_rows = len(valid)
+    return analyze_columns(columns, num_rows=num_rows, **kwargs)
 
 
 def _analyze_column(sample: np.ndarray, total_rows: int,

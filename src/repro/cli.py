@@ -346,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--no-semijoin", action="store_true",
                          help="disable build-side semijoin/Bloom filters "
                               "pushed into probe-side scans")
+    run_cmd.add_argument("--stale", action="store_true",
+                         help="for experiments with a stale-statistics mode "
+                              "(figure15_statistics): drift the data after "
+                              "ANALYZE so the optimizer plans on stale "
+                              "statistics")
     run_cmd.add_argument("--jobs", type=int, default=1,
                          help="worker processes; >1 also shards experiments "
                               "by query family where possible")
@@ -450,6 +455,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                        ("no_semijoin", "semijoin_pruning")):
         if getattr(args, flag):
             overrides.setdefault(knob, False)
+    if args.stale:
+        overrides.setdefault("stale", True)
 
     statuses = run_experiments(
         names, jobs=max(1, args.jobs), results_dir=args.results_dir,

@@ -1,0 +1,40 @@
+"""Dynamic-data subsystem: drift streams, staleness, re-ANALYZE policies.
+
+Every other workload in the repository is static -- load once, ANALYZE
+once, query forever -- so cardinality estimates are only ever *noisy*
+(figure10's perturbation model), never *systematically* wrong.  This
+package makes the database a moving target, which is the setting the
+paper's re-optimization policies exist for: statistics that drift out of
+date produce systematic estimation errors, and the policies recover by
+observing true cardinalities mid-query.
+
+Layers (see ARCHITECTURE.md, "Dynamic data"):
+
+* :mod:`repro.dynamic.drift`     -- seeded mutation streams
+  (:class:`DriftStream`) that grow a fact table with shifting value
+  windows, rotating hot-key skew, and novel strings, and delete a
+  fraction of existing rows, as pure functions of ``(seed, step)``;
+* :mod:`repro.dynamic.staleness` -- per-table staleness accounting on top
+  of the storage layer's ``data_epoch`` counters, the
+  :class:`StalenessController` re-ANALYZE policies (``never`` /
+  ``periodic`` / ``triggered``), and per-query
+  :class:`StalenessReport` records (plan-time estimate vs. executed
+  cardinality).
+
+The storage-level mechanics (``DataTable.append_rows`` / ``delete_rows``,
+incremental zone maps, dictionary growth, subplan-cache invalidation)
+live in :mod:`repro.storage` and :mod:`repro.executor`; this package is
+the policy layer over them.
+"""
+
+from repro.dynamic.drift import DriftConfig, DriftStream, MutationBatch
+from repro.dynamic.staleness import (
+    POLICIES,
+    StalenessController,
+    StalenessReport,
+)
+
+__all__ = [
+    "DriftConfig", "DriftStream", "MutationBatch", "POLICIES",
+    "StalenessController", "StalenessReport",
+]

@@ -1,0 +1,217 @@
+"""Seeded drift streams: mutation batches that make a database move.
+
+A :class:`DriftStream` drives one fact table of a loaded database through
+a sequence of mutation **steps**.  Each step appends a batch of rows whose
+distributions drift with the step index -- numeric columns draw from a
+window that keeps shifting past the loaded value range
+(:func:`~repro.workloads.datagen.shifting_window_ints`), foreign keys
+concentrate on a rotating hot key
+(:func:`~repro.workloads.datagen.rotating_hotkey_choice`), and string
+columns mix the loaded pool with novel strings that grow the dictionary
+(:func:`~repro.workloads.datagen.novel_strings`) -- and deletes a fraction
+of the rows that existed at that step.
+
+**Purity discipline** (mirrors :mod:`repro.workloads.sqlgen`): the batch
+at step *k* is a pure function of ``(initial database snapshot, seed, k)``.
+The stream snapshots everything batch generation depends on -- the loaded
+row count, primary-key high-water mark, foreign-key value pools, numeric
+column bounds, string pools -- at construction, and derives per-step rngs
+as ``np.random.default_rng([seed, step])``.  Two identically built
+databases driven through :meth:`DriftStream.apply` therefore receive
+byte-identical mutations, which is what lets ``bench_stale_stats`` replay
+the *same* drift under every re-ANALYZE policy and algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.database import Database
+from repro.workloads.datagen import (
+    novel_strings,
+    rotating_hotkey_choice,
+    shifting_window_ints,
+)
+
+#: Cap on the per-column value pools snapshotted at construction.
+_POOL_CAP = 512
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Shape of one drift stream.
+
+    ``append_rows`` rows are appended per step and ``delete_fraction`` of
+    the rows existing at the step are deleted (re-deleting an already-dead
+    row is a no-op, so the effective delete count decays slightly over
+    time).  ``value_drift`` is the per-step shift of numeric-value windows
+    as a fraction of the loaded value span; ``hot_fraction`` /
+    ``hot_key_stride`` control the rotating foreign-key hot spot;
+    ``new_string_rate`` is the per-row probability of a novel (dictionary-
+    growing) string in string columns.
+    """
+
+    fact_table: str
+    append_rows: int = 1000
+    delete_fraction: float = 0.02
+    value_drift: float = 0.25
+    hot_key_stride: int = 7
+    hot_fraction: float = 0.4
+    new_string_rate: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.append_rows < 0:
+            raise ValueError("append_rows must be >= 0")
+        if not 0.0 <= self.delete_fraction < 1.0:
+            raise ValueError("delete_fraction must be within [0, 1)")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be within [0, 1]")
+        if not 0.0 <= self.new_string_rate <= 1.0:
+            raise ValueError("new_string_rate must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class MutationBatch:
+    """One generated step: rows to append and physical row ids to delete."""
+
+    step: int
+    table: str
+    appends: dict[str, np.ndarray] = field(repr=False)
+    delete_ids: np.ndarray = field(repr=False)
+
+    @property
+    def num_appends(self) -> int:
+        if not self.appends:
+            return 0
+        return len(next(iter(self.appends.values())))
+
+    @property
+    def num_deletes(self) -> int:
+        return len(self.delete_ids)
+
+
+class DriftStream:
+    """Generates and applies seeded mutation batches to one fact table."""
+
+    def __init__(self, database: Database, config: DriftConfig, seed: int = 0):
+        if database.origin is not database:
+            raise ValueError("drift streams must target an origin database, "
+                             "not a session view")
+        self.database = database
+        self.config = config
+        self.seed = int(seed)
+        table = database.table(config.fact_table)
+        schema = database.schema.table(config.fact_table)
+        # --- Snapshot of the initial state (purity: batches depend only on
+        # this snapshot, the seed, and the step index). ---
+        self._initial_rows = table.num_rows
+        self._columns = list(table.column_names)
+        self._pk = schema.primary_key
+        self._next_id = 0
+        if self._pk is not None and table.has_column(self._pk):
+            pk_values = table.column_values(self._pk, cache=False)
+            self._next_id = int(pk_values.max()) + 1 if len(pk_values) else 0
+        self._fk_pools: dict[str, np.ndarray] = {}
+        for fk in schema.foreign_keys:
+            ref = database.table(fk.ref_table)
+            pool = np.asarray(
+                ref.column_values(fk.ref_column, cache=False)[
+                    ref.valid_row_ids()])
+            if len(pool) > _POOL_CAP * 8:
+                pool = pool[:: len(pool) // (_POOL_CAP * 8) + 1]
+            self._fk_pools[fk.column] = pool
+        self._numeric_bounds: dict[str, tuple[int, int]] = {}
+        self._string_pools: dict[str, np.ndarray] = {}
+        for name in self._columns:
+            if name == self._pk or name in self._fk_pools:
+                continue
+            values = table.column_values(name, cache=False)
+            if values.dtype == object:
+                non_null = np.array([v for v in values[:_POOL_CAP * 16]
+                                     if v is not None], dtype=object)
+                pool = np.unique(non_null) if len(non_null) else non_null
+                self._string_pools[name] = pool[:_POOL_CAP]
+            elif values.dtype.kind in "iu":
+                lo = int(values.min()) if len(values) else 0
+                hi = int(values.max()) if len(values) else 1
+                self._numeric_bounds[name] = (lo, max(hi, lo + 1))
+            else:  # float columns: drift over their finite range
+                finite = values[np.isfinite(values)] if len(values) else values
+                lo = int(np.floor(finite.min())) if len(finite) else 0
+                hi = int(np.ceil(finite.max())) if len(finite) else 1
+                self._numeric_bounds[name] = (lo, max(hi, lo + 1))
+
+    # ------------------------------------------------------------------
+    # Pure generation
+    # ------------------------------------------------------------------
+    def batch_at(self, step: int) -> MutationBatch:
+        """The mutation batch of ``step`` -- pure in (snapshot, seed, step)."""
+        config = self.config
+        rng = np.random.default_rng([self.seed, int(step)])
+        count = config.append_rows
+        appends: dict[str, np.ndarray] = {}
+        if count:
+            for name in sorted(self._columns):
+                appends[name] = self._synthesize(rng, name, step, count)
+            appends = {name: appends[name] for name in self._columns}
+        existing = self._initial_rows + step * config.append_rows
+        deletes = int(existing * config.delete_fraction)
+        delete_ids = (rng.choice(existing, size=deletes, replace=False)
+                      .astype(np.int64)
+                      if deletes else np.empty(0, dtype=np.int64))
+        return MutationBatch(step=int(step), table=config.fact_table,
+                             appends=appends, delete_ids=delete_ids)
+
+    def _synthesize(self, rng: np.random.Generator, name: str, step: int,
+                    count: int) -> np.ndarray:
+        config = self.config
+        if name == self._pk:
+            # Dense, collision-free keys: each step owns a fixed id range.
+            start = self._next_id + step * config.append_rows
+            return np.arange(start, start + count, dtype=np.int64)
+        pool = self._fk_pools.get(name)
+        if pool is not None and len(pool):
+            idx = rotating_hotkey_choice(
+                rng, len(pool), count, step,
+                stride=config.hot_key_stride,
+                hot_fraction=config.hot_fraction)
+            return pool[idx]
+        if name in self._string_pools:
+            pool = self._string_pools[name]
+            if len(pool):
+                values = pool[rng.integers(0, len(pool), count)].astype(object)
+            else:
+                values = np.full(count, None, dtype=object)
+            fresh_mask = rng.random(count) < config.new_string_rate
+            n_fresh = int(fresh_mask.sum())
+            if n_fresh:
+                values = values.copy()
+                values[fresh_mask] = novel_strings(name, step, n_fresh)
+            return values
+        low, high = self._numeric_bounds.get(name, (0, 1))
+        return shifting_window_ints(rng, count, low, high, step,
+                                    drift_per_step=config.value_drift)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, step: int) -> MutationBatch:
+        """Generate the batch at ``step`` and apply it to the database.
+
+        Steps must be applied in order starting at 0 for the stream's
+        delete ids (sampled over the rows existing at the step) to refer
+        to real rows.  Statistics are *not* refreshed -- re-ANALYZE is the
+        :class:`~repro.dynamic.staleness.StalenessController`'s decision.
+        """
+        batch = self.batch_at(step)
+        if batch.num_appends:
+            self.database.append_rows(batch.table, batch.appends)
+        if batch.num_deletes:
+            self.database.delete_rows(batch.table, batch.delete_ids)
+        return batch
+
+    def run(self, steps: int) -> list[MutationBatch]:
+        """Apply steps ``0 .. steps - 1`` in order."""
+        return [self.apply(step) for step in range(steps)]

@@ -1,0 +1,171 @@
+"""Statistics-staleness accounting and re-ANALYZE policies.
+
+The storage layer gives every base table a ``data_epoch`` counter and
+stamps each :class:`~repro.catalog.statistics.TableStats` with the epoch
+it was collected at (``analyzed_epoch``); the difference --
+``Database.stats_staleness(table)`` -- is the number of mutation batches
+the optimizer's statistics have *not* seen.  This module decides when to
+close that gap:
+
+* ``"never"``     -- statistics stay at load time forever (the drifting
+  baseline the paper's re-optimization policies should rescue);
+* ``"periodic"``  -- re-ANALYZE a table once ``period`` mutation batches
+  accumulated since its last ANALYZE (fires from the database's mutation
+  listener, i.e. synchronously after the triggering mutation);
+* ``"triggered"`` -- re-ANALYZE the stale tables of a query whose
+  *observed* plan-time estimation error exceeded ``q_error_threshold``
+  (the feedback-driven policy: pay for ANALYZE only when a query proves
+  the statistics wrong).
+
+:meth:`StalenessController.observe` produces the per-query
+:class:`StalenessReport`: what the current (possibly stale) statistics
+estimated for the query's full join at plan time, what the execution
+actually produced, the resulting q-error, and the per-table staleness at
+that moment.  ``bench_stale_stats`` aggregates these into the headline
+"re-opt advantage under drift" metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.optimizer.cardinality import DefaultCardinalityEstimator
+from repro.plan.logical import Query, SPJQuery
+from repro.storage.database import Database
+
+#: The supported re-ANALYZE policies.
+POLICIES = ("never", "periodic", "triggered")
+
+
+@dataclass
+class StalenessReport:
+    """Plan-time estimate vs. executed cardinality for one query."""
+
+    query_name: str
+    #: Full-join cardinality the *current* statistics estimated at plan time.
+    estimated_rows: float
+    #: Cardinality the execution actually produced for that join.
+    actual_rows: float
+    #: Mutation batches each referenced base table had pending at plan time.
+    table_staleness: dict[str, int] = field(default_factory=dict)
+    #: Tables the controller re-ANALYZEd in response (triggered policy).
+    reanalyzed: tuple[str, ...] = ()
+
+    @property
+    def q_error(self) -> float:
+        """max(est/act, act/est), both clamped to >= 1 row."""
+        est = max(self.estimated_rows, 1.0)
+        act = max(self.actual_rows, 1.0)
+        return max(est / act, act / est)
+
+    @property
+    def max_staleness(self) -> int:
+        """Largest per-table staleness the query planned against."""
+        return max(self.table_staleness.values(), default=0)
+
+
+class StalenessController:
+    """Applies one re-ANALYZE policy to an origin database.
+
+    The controller registers itself as a mutation listener (for the
+    periodic policy); call :meth:`close` to detach it when done.  All
+    re-ANALYZE work is counted in :attr:`reanalyze_count` so experiments
+    can report the policy's cost alongside its benefit.
+    """
+
+    def __init__(self, database: Database, policy: str = "never",
+                 period: int = 5, q_error_threshold: float = 4.0):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown re-ANALYZE policy {policy!r}; expected one of "
+                f"{POLICIES}")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if q_error_threshold < 1.0:
+            raise ValueError("q_error_threshold must be >= 1.0")
+        self.database = database.origin
+        self.policy = policy
+        self.period = int(period)
+        self.q_error_threshold = float(q_error_threshold)
+        self.reanalyze_count = 0
+        self.reports: list[StalenessReport] = []
+        self._estimator = DefaultCardinalityEstimator(self.database)
+        self.database.add_mutation_listener(self._on_mutation)
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+    def _on_mutation(self, table_name: str) -> None:
+        if (self.policy == "periodic"
+                and self.database.stats_staleness(table_name) >= self.period):
+            self._reanalyze((table_name,))
+
+    def observe(self, query: Query, actual_rows: float) -> StalenessReport:
+        """Record one executed query's estimate-vs-actual outcome.
+
+        ``actual_rows`` is the executed cardinality of the query's full
+        join (callers usually pass the last iteration's ``result_rows``
+        from the :class:`~repro.report.ExecutionReport`).  The estimate is
+        recomputed here against the *current* statistics -- exactly what a
+        static optimizer believed at plan time.  Under the ``triggered``
+        policy, a q-error above the threshold re-ANALYZEs every stale base
+        table the query references.
+        """
+        spj = _largest_leaf(query)
+        estimated = float(self._estimator.estimate_rows(
+            spj.relations, spj.filters, spj.join_predicates, query.name))
+        staleness = {
+            relation.table_name:
+                self.database.stats_staleness(relation.table_name)
+            for relation in spj.relations
+            if not relation.is_temp
+            and not self.database.is_temp(relation.table_name)
+        }
+        report = StalenessReport(query_name=query.name,
+                                 estimated_rows=estimated,
+                                 actual_rows=float(actual_rows),
+                                 table_staleness=staleness)
+        if (self.policy == "triggered"
+                and report.q_error > self.q_error_threshold):
+            stale = tuple(sorted(name for name, lag in staleness.items()
+                                 if lag > 0))
+            report.reanalyzed = self._reanalyze(stale)
+        self.reports.append(report)
+        return report
+
+    def _reanalyze(self, table_names: tuple[str, ...]) -> tuple[str, ...]:
+        for name in table_names:
+            self.database.analyze(name)
+            self.reanalyze_count += 1
+        return tuple(table_names)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    @property
+    def mean_q_error(self) -> float:
+        """Arithmetic mean q-error across every observed query (1.0 if none)."""
+        if not self.reports:
+            return 1.0
+        return sum(report.q_error for report in self.reports) / len(self.reports)
+
+    @property
+    def p95_q_error(self) -> float:
+        """95th-percentile q-error across observed queries (1.0 if none)."""
+        if not self.reports:
+            return 1.0
+        ordered = sorted(report.q_error for report in self.reports)
+        index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def close(self) -> None:
+        """Detach the controller's mutation listener."""
+        self.database.remove_mutation_listener(self._on_mutation)
+
+
+def _largest_leaf(query: Query) -> SPJQuery:
+    """The query's widest SPJ block (its full join, for aggregate trees)."""
+    leaves = query.root.spj_leaves()
+    if not leaves:
+        raise ValueError(f"query {query.name!r} has no SPJ leaves")
+    return max(leaves, key=lambda leaf: len(leaf.relations))

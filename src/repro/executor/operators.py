@@ -132,8 +132,12 @@ class Scan(Operator):
 
         filters = tuple(node.filters) + tuple(extra_filters)
         if not filters:
-            # Identity selection: no vector materialized.
-            return Chunk((TableSource(relation, table, None),))
+            # Identity selection: no vector materialized.  Mutated tables
+            # with deleted rows select their live rows explicitly instead
+            # (the valid-row mask is the single source of truth).
+            return Chunk((TableSource(relation, table,
+                                      table.valid_row_ids()
+                                      if table.has_deletes else None),))
 
         filters, impossible, translated = translate_filters(
             filters, table, storage_name)
@@ -149,7 +153,9 @@ class Scan(Operator):
                                       np.empty(0, dtype=np.int64)),))
         if not filters:
             # Every conjunct was tautological: identity selection.
-            return Chunk((TableSource(relation, table, None),))
+            return Chunk((TableSource(relation, table,
+                                      table.valid_row_ids()
+                                      if table.has_deletes else None),))
 
         kernel = None
         if ctx.fused:
@@ -177,6 +183,12 @@ class Scan(Operator):
                 row_ids = parts[0]
             else:
                 row_ids = np.concatenate(parts)
+        if table.has_deletes:
+            # Deleted rows may still satisfy the filters (deletes never
+            # rewrite blocks); drop them from the selection here so every
+            # scan variant -- zone-pruned or not, fused or not -- returns
+            # exactly the live matches.
+            row_ids = row_ids[table.valid_mask[row_ids]]
         return Chunk((TableSource(relation, table, row_ids),))
 
     @staticmethod

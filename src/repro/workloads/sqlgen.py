@@ -107,6 +107,15 @@ class PredicateSamplerConfig:
     ``selectivity`` bounds the target fraction of rows a range predicate
     selects; the shape weights need not sum to one (they are normalized over
     the shapes actually available for the chosen column).
+
+    ``point_drop_rate`` is the defio-style point-query drop knob: a sampled
+    equality predicate whose statistics-estimated match count is at most
+    ``point_drop_rows`` rows is *discarded* with this probability (the
+    filter slot stays empty).  Drifted streams over growing fact tables
+    otherwise degenerate into single-row point lookups -- every hot MCV is
+    near-unique against a table that has doubled since ANALYZE.  The knob
+    defaults to 0.0, in which case no extra random draw happens and
+    existing seeded streams are byte-identical to before.
     """
 
     max_predicates: int = 3
@@ -116,6 +125,8 @@ class PredicateSamplerConfig:
     in_weight: float = 0.15
     prefix_weight: float = 0.1
     max_in_values: int = 4
+    point_drop_rate: float = 0.0
+    point_drop_rows: float = 2.0
 
     def __post_init__(self) -> None:
         low, high = self.selectivity
@@ -126,6 +137,10 @@ class PredicateSamplerConfig:
         if self.max_in_values < 2:
             raise ValueError("max_in_values must be >= 2 (an IN-list needs "
                              "at least two values)")
+        if not 0.0 <= self.point_drop_rate <= 1.0:
+            raise ValueError("point_drop_rate must be within [0, 1]")
+        if self.point_drop_rows < 0:
+            raise ValueError("point_drop_rows must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -404,6 +419,15 @@ class RandomQueryGenerator:
             value = stats.sample_value(rng)
             if value is None:
                 return None
+            if config.point_drop_rate > 0.0:
+                # Drop near-unique point lookups (estimated <= point_drop_rows
+                # matches) with the configured probability.  The rate>0 guard
+                # keeps default-config streams byte-identical: no extra rng
+                # draw unless the knob is turned on.
+                expected = stats.equality_selectivity(value) * stats.num_rows
+                if (expected <= config.point_drop_rows
+                        and rng.random() < config.point_drop_rate):
+                    return None
             return Comparison(ref, "=", value)
         if shape == "in":
             values = stats.sample_in_values(rng, config.max_in_values)

@@ -103,6 +103,67 @@ class TestDeterminism:
         assert a == b
 
 
+class TestPointDropKnob:
+    def _equality_filters(self, queries):
+        return [pred for query in queries
+                for leaf in query.root.spj_leaves()
+                for pred in leaf.filters
+                if isinstance(pred, Comparison) and pred.op == "="]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredicateSamplerConfig(point_drop_rate=1.5)
+        with pytest.raises(ValueError):
+            PredicateSamplerConfig(point_drop_rate=-0.1)
+        with pytest.raises(ValueError):
+            PredicateSamplerConfig(point_drop_rows=-1.0)
+
+    def test_rate_zero_keeps_default_streams_byte_identical(self, tpch_db):
+        """The knob must not perturb existing seeded streams when off (no
+        extra rng draw happens unless the rate is positive)."""
+        base = make_generator(tpch_db, seed=9).generate(40)
+        explicit = make_generator(
+            tpch_db, seed=9,
+            predicate_config=PredicateSamplerConfig(
+                max_predicates=3, point_drop_rate=0.0)).generate(40)
+        assert base == explicit
+
+    def test_full_rate_with_huge_threshold_drops_every_point_filter(self,
+                                                                    tpch_db):
+        """rate=1.0 with an unbounded row threshold: no equality predicate
+        can survive the point branch (only the point shape emits ``=``)."""
+        queries = make_generator(
+            tpch_db, seed=9,
+            predicate_config=PredicateSamplerConfig(
+                max_predicates=3, point_drop_rate=1.0,
+                point_drop_rows=1e18)).generate(80)
+        assert self._equality_filters(queries) == []
+
+    def test_default_threshold_only_drops_near_single_row_lookups(self,
+                                                                  tpch_db):
+        """With the default 2-row threshold the knob thins, not removes,
+        the equality predicates: surviving ones are estimated to match
+        more than ``point_drop_rows`` rows."""
+        config = PredicateSamplerConfig(max_predicates=3,
+                                        point_drop_rate=1.0)
+        queries = make_generator(
+            tpch_db, seed=9, predicate_config=config).generate(80)
+        survivors = self._equality_filters(queries)
+        baseline = self._equality_filters(
+            make_generator(tpch_db, seed=9).generate(80))
+        assert len(survivors) < len(baseline)
+        table_of = {}
+        for query in queries:
+            for leaf in query.root.spj_leaves():
+                table_of.update({r.alias: r.table_name
+                                 for r in leaf.relations})
+        for pred in survivors:
+            stats = tpch_db.stats(table_of[pred.column.alias])
+            column = stats.column(pred.column.column)
+            expected = column.equality_selectivity(pred.value) * column.num_rows
+            assert expected > config.point_drop_rows, (pred, expected)
+
+
 class TestValidity:
     def test_queries_reference_schema_and_are_connected(self, tpch_db):
         generator = make_generator(

@@ -2,13 +2,15 @@
 """Append the storage/executor microbenchmark headlines to a trend file.
 
 Runs the two hot-path microbenchmarks (`bench_scan_pruning` and
-`bench_compiled_scan`) plus a reduced `bench_serving` sweep at a smoke
-scale and appends one entry --
+`bench_compiled_scan`) plus reduced `bench_serving` and
+`bench_stale_stats` sweeps at a smoke scale and appends one entry --
 
 ```json
 {"rev": "<git short rev>", "recorded_at": "<ISO-8601 UTC>",
  "scan_pruning": {...summary...}, "compiled_scan": {...summary...},
- "serving": {"p95_under_load": ..., "peak_throughput_qps": ...}}
+ "serving": {"p95_under_load": ..., "peak_throughput_qps": ...},
+ "stale_stats": {"triggered_qerror_improvement": ...,
+                 "reopt_advantage_under_drift": ...}}
 ```
 
 -- to the committed ``BENCH_microbench.json`` trend file, so speedup
@@ -69,6 +71,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="database scale of the serving smoke sweep")
     parser.add_argument("--serving-queries", type=int, default=32,
                         help="stream length of the serving smoke sweep")
+    parser.add_argument("--stale-scale", type=float, default=0.6,
+                        help="database scale of the stale-statistics sweep")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -76,6 +80,7 @@ def main(argv: list[str] | None = None) -> int:
         bench_compiled_scan,
         bench_scan_pruning,
         bench_serving,
+        bench_stale_stats,
     )
 
     scan = bench_scan_pruning.run(num_rows=args.num_rows,
@@ -88,6 +93,15 @@ def main(argv: list[str] | None = None) -> int:
                                queries=args.serving_queries,
                                workers_sweep=(1, 4), rates=(64.0,),
                                policies=("shed",), verbose=False)
+    # Reduced stale-statistics sweep: just the cells the two drift
+    # headlines need (never/triggered at the top drift rate, the static
+    # optimizer and the strongest re-optimizer).
+    stale = bench_stale_stats.run(scale=args.stale_scale,
+                                  drift_rates=(0.5,),
+                                  policies=("never", "triggered"),
+                                  algorithms=("Default", "Reopt"),
+                                  steps=4, queries_per_step=6,
+                                  verbose=False)
 
     entry = {
         "rev": git_rev(),
@@ -100,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
         "serving": dict(served.data["headline"],
                         scale=args.serving_scale,
                         queries=args.serving_queries),
+        "stale_stats": dict(stale.data["headline"], scale=args.stale_scale),
     }
     trend = load_trend(args.out)
     trend["entries"] = [e for e in trend["entries"]
@@ -116,7 +131,11 @@ def main(argv: list[str] | None = None) -> int:
           f"multi3/full={speedups.get('multi3/full', 0):.2f}x, "
           f"semijoin={entry['compiled_scan'].get('semijoin_speedup', 0):.2f}x, "
           f"serving p95@load={entry['serving']['p95_under_load'] * 1e3:.1f}ms "
-          f"({entry['serving']['peak_throughput_qps']:.1f} qps peak)")
+          f"({entry['serving']['peak_throughput_qps']:.1f} qps peak), "
+          f"stale triggered-ANALYZE="
+          f"{entry['stale_stats']['triggered_qerror_improvement']:.2f}x "
+          f"q-err, reopt-under-drift="
+          f"{entry['stale_stats']['reopt_advantage_under_drift']:.2f}x")
     return 0
 
 
