@@ -1,0 +1,2 @@
+"""Benchmark acceptance-test package (see tests/__init__.py for why
+these directories are real packages)."""

@@ -1,0 +1,92 @@
+"""Microbenchmark: morsel-parallel execution acceptance.
+
+Runs the scenario x worker-count sweep of
+:mod:`repro.experiments.bench_morsels` at a reduced size and asserts the
+PR's acceptance bars:
+
+* correctness everywhere -- every cell returns the same cardinality as
+  ``workers=1`` (the experiment cross-checks this itself), the morsel
+  counters are consistent, and a ``workers=1`` executor is bit-identical
+  to the plain sequential executor on the raw (non-aggregated) scan;
+* scaling where the hardware allows it -- the low-selectivity scan must
+  be at least 2x faster at 4 workers than at 1.  Thread parallelism
+  cannot beat the core count, so the floor is enforced only on machines
+  with >= 4 CPUs (CI runners qualify; the correctness half of this
+  module runs everywhere).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.executor.executor import Executor, MorselScheduler
+from repro.experiments import bench_morsels
+from repro.experiments.bench_compiled_scan import build_events_database
+from repro.plan.logical import RelationRef
+from repro.plan.physical import PhysicalPlan, ScanNode
+
+CPUS = os.cpu_count() or 1
+
+
+def _sweep(scale: float):
+    # The floor needs the fixed per-morsel dispatch overhead to be noise
+    # against the kernel time, so the sweep is floored at 400k rows.
+    num_rows = max(int(800_000 * scale), 400_000)
+    return bench_morsels.run(num_rows=num_rows, repeats=3,
+                             workers_sweep=(1, 2, 4), verbose=False)
+
+
+def test_morsel_correctness_and_counters(scale):
+    result = _sweep(scale)
+    grid = result.data["grid"]
+    for scenario, cells in grid.items():
+        baseline_rows = cells[1]["rows"]
+        for width, cell in cells.items():
+            assert cell["rows"] == baseline_rows, (scenario, width)
+            assert cell["morsel_workers"] == width
+            if width == 1:
+                # Sequential cells never dispatch and never count rows
+                # through the parallel path.
+                assert cell["morsels_total"] == 0
+                assert cell["parallel_scan_rows"] == 0
+            else:
+                assert cell["morsels_total"] > 0
+    # The parallel scan counter covers every candidate row of the scan
+    # scenario (no zone pruning fires on the unclustered predicates).
+    scan4 = grid["scan_low_sel"][4]
+    assert scan4["parallel_scan_rows"] >= result.summary["num_rows"]
+    print("\n" + result.render())
+
+
+def test_workers_1_bit_identical_to_sequential_executor(scale):
+    num_rows = max(int(200_000 * scale), 100_000)
+    database = build_events_database(num_rows, dict_encode=True,
+                                     block_size=4096)
+    plan = PhysicalPlan(
+        query_name="morsels-bitident",
+        root=ScanNode(relation=RelationRef.base("events", "events"),
+                      filters=bench_morsels._scan_plan().root.filters),
+        output_columns=(bench_morsels._ref("e_id"),
+                        bench_morsels._ref("e_a")),
+    )
+    sequential = Executor(database).execute(plan).table
+    with MorselScheduler(1) as scheduler:
+        one_worker = Executor(database,
+                              morsel_scheduler=scheduler).execute(plan).table
+    assert sequential.num_rows == one_worker.num_rows
+    for name in sequential.columns:
+        np.testing.assert_array_equal(sequential.columns[name],
+                                      one_worker.columns[name])
+
+
+@pytest.mark.skipif(
+    CPUS < 4,
+    reason=f"thread scaling floor needs >= 4 CPUs (have {CPUS}); "
+           f"the correctness sweep above still ran")
+def test_scan_speedup_floor_at_4_workers(scale):
+    result = _sweep(scale)
+    speedup = result.data["speedups"]["scan_low_sel"][4]
+    assert speedup >= 2.0, (
+        f"expected >= 2x morsel speedup on scan_low_sel at 4 workers "
+        f"({CPUS} cpus), got {speedup:.2f}x")

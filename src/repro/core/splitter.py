@@ -36,6 +36,7 @@ from repro.executor.executor import (
     group_aggregate,
 )
 from repro.executor.joins import JoinOverflowError
+from repro.executor.morsels import MorselCancelled
 from repro.optimizer.optimizer import Optimizer
 from repro.plan.expressions import ColumnRef
 from repro.plan.logical import Query, RelationRef, SPJQuery
@@ -81,19 +82,24 @@ class QuerySplitExecutor:
                                  total_time=0.0)
         self._deadline = (time.perf_counter() + self.config.timeout_seconds
                           if self.config.timeout_seconds is not None else None)
+        # Share the cooperative deadline with the executor's morsel
+        # fan-out (MorselCancelled unwinds like QueryTimeout below).
+        self.executor.deadline = self._deadline
         planner_before = self.optimizer.invocations
         try:
             final = execute_query_tree(
                 query.root, lambda spj: self._run_spj(spj, report))
             report.final_table = final
             report.final_rows = final.num_rows
-        except (QueryTimeout, JoinOverflowError, ExecutionError):
+        except (QueryTimeout, MorselCancelled, JoinOverflowError,
+                ExecutionError):
             # Exceeding the join-size cap or the time budget is the Python
             # engine's analogue of the paper's 1000 s query timeout.
             report.timed_out = True
             if self.config.timeout_seconds is not None:
                 report.total_time = max(report.total_time, self.config.timeout_seconds)
         finally:
+            self.executor.deadline = None
             report.planner_invocations = self.optimizer.invocations - planner_before
             self.database.drop_temp_tables()
         return report

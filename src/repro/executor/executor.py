@@ -51,6 +51,10 @@ from repro.executor.kernels import (
     MIN_PROBE_ROWS,
     build_semijoin_predicate,
 )
+from repro.executor.morsels import (  # noqa: F401  (re-exported)
+    MorselCancelled,
+    MorselScheduler,
+)
 from repro.executor.operators import (  # noqa: F401  (re-exported)
     MAX_CROSS_PRODUCT_ROWS,
     Aggregate,
@@ -69,7 +73,7 @@ from repro.storage.table import DataTable
 
 __all__ = [
     "Executor", "ExecutionResult", "ExecutionError", "MAX_CROSS_PRODUCT_ROWS",
-    "group_aggregate", "union_all",
+    "MorselCancelled", "MorselScheduler", "group_aggregate", "union_all",
 ]
 
 
@@ -101,6 +105,13 @@ class ExecutionResult:
     #: rows they eliminated before reaching the hash join.
     semijoin_filters: int = 0
     semijoin_pruned_rows: int = 0
+    #: Morsel parallelism: tasks dispatched to the worker pool, the pool
+    #: width the executor ran with, and base-table rows scanned through
+    #: the parallel filter path (``workers=1`` leaves all three at their
+    #: sequential values).
+    morsels_total: int = 0
+    morsel_workers: int = 1
+    parallel_scan_rows: int = 0
 
     @property
     def scan_pruning_ratio(self) -> float:
@@ -143,13 +154,26 @@ class Executor:
         eligible probe-side base-table scans (exact key set or Bloom
         filter), so zone maps and the fused kernel drop probe rows before
         the hash probe.
+    workers:
+        Morsel-parallel intra-query execution: scans and hash-join
+        probes fan out over a :class:`~repro.executor.morsels.MorselScheduler`
+        thread pool of this width, with per-morsel results merged in
+        range order (bit-identical to sequential).  ``1`` (the default)
+        never creates a pool.
+    morsel_scheduler:
+        An externally owned scheduler to share across executors (the
+        serving layer passes one pool to every worker so inter- and
+        intra-query parallelism cannot oversubscribe); overrides
+        ``workers``.
     """
 
     def __init__(self, database: Database,
                  subplan_cache: SubplanCache | None = None,
                  materialization: str = "late",
                  fused: bool = True,
-                 semijoin: bool = True):
+                 semijoin: bool = True,
+                 workers: int = 1,
+                 morsel_scheduler: MorselScheduler | None = None):
         if materialization not in ("late", "eager"):
             raise ValueError(f"unknown materialization mode {materialization!r}")
         self.database = database
@@ -159,6 +183,24 @@ class Executor:
         self.materialization = materialization
         self.fused = bool(fused)
         self.semijoin = bool(semijoin)
+        if morsel_scheduler is not None:
+            self.morsels: MorselScheduler | None = morsel_scheduler
+        elif workers > 1:
+            self.morsels = MorselScheduler(workers)
+        elif workers < 1:
+            raise ValueError(f"need >= 1 worker, got {workers}")
+        else:
+            self.morsels = None
+        #: Cooperative per-query deadline (``time.perf_counter`` seconds)
+        #: the re-optimization drivers set around each run; the morsel
+        #: fan-out checks it between waves and unwinds with
+        #: :class:`~repro.executor.morsels.MorselCancelled`.
+        self.deadline: float | None = None
+
+    @property
+    def workers(self) -> int:
+        """Width of the morsel pool this executor fans out over."""
+        return self.morsels.workers if self.morsels is not None else 1
 
     # ------------------------------------------------------------------
     # Public API
@@ -182,7 +224,8 @@ class Executor:
         needed = frozenset(self._needed_columns(plan, extra_columns))
         ctx = ExecContext(database=self.database, stats=stats, needed=needed,
                           eager=self.materialization == "eager",
-                          fused=self.fused)
+                          fused=self.fused,
+                          morsels=self.morsels, deadline=self.deadline)
         chunk = self._execute_node(plan.root, ctx, cache)
         join_rows = chunk.num_rows
 
@@ -206,7 +249,10 @@ class Executor:
                                fused_predicates=ctx.fused_predicates,
                                dict_predicates=ctx.dict_predicates,
                                semijoin_filters=ctx.semijoin_filters,
-                               semijoin_pruned_rows=ctx.semijoin_pruned_rows)
+                               semijoin_pruned_rows=ctx.semijoin_pruned_rows,
+                               morsels_total=ctx.morsels_total,
+                               morsel_workers=self.workers,
+                               parallel_scan_rows=ctx.parallel_scan_rows)
 
     # ------------------------------------------------------------------
     # Node evaluation

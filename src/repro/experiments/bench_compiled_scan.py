@@ -75,11 +75,11 @@ NUM_SKUS = 4000
 
 
 def build_events_database(num_rows: int, dict_encode: bool,
-                          seed: int = 13) -> Database:
+                          seed: int = 13, block_size: int = 0) -> Database:
     """Unclustered synthetic events + a small users dimension."""
     rng = np.random.default_rng(seed)
     db = Database(EVENTS_SCHEMA, index_config=IndexConfig.NONE,
-                  block_size=0, dict_encode=dict_encode)
+                  block_size=block_size, dict_encode=dict_encode)
     db.load_table(DataTable("users", {
         "u_id": np.arange(1, NUM_USERS + 1, dtype=np.int64),
         "u_seg": np.array([f"seg_{i % NUM_SEGMENTS}" for i in range(NUM_USERS)],

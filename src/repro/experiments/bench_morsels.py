@@ -1,0 +1,208 @@
+"""Morsel-parallel execution microbenchmark (beyond the paper).
+
+Measures the intra-query scaling of the morsel scheduler
+(:mod:`repro.executor.morsels`) on the two fanned-out operators:
+
+* **scan_low_sel** -- a five-predicate conjunction over the unclustered
+  ``events`` table in which every predicate keeps most rows, so each
+  fused pass (compare + survivor gather) touches nearly the whole
+  morsel: per-row numpy kernel time dominates and the GIL is released
+  for most of it, which is exactly the regime morsel parallelism
+  targets.
+* **join_probe** -- ``events |x| users`` with semijoin pushdown off, so
+  the full probe side reaches the hash join and is probed morsel by
+  morsel against the shared sorted build side.
+
+Both scenarios sweep the worker count (1/2/4/8 by default) with a fixed
+morsel size of ``rows // 8`` and report per-cell times, speedups over
+``workers=1``, and the morsel counters.  Every cell cross-checks its
+result cardinality against the ``workers=1`` cell, so a scheduling bug
+can never hide behind a good scaling number.  Note that the speedups are
+bounded by the machine: ``summary["cpus"]`` records ``os.cpu_count()``
+so a 1.0x on a single-core box is interpretable (the correctness
+cross-checks still run there).
+
+Timing accounting matches the other microbenchmarks: best-of-``repeats``
+executor wall time, planner excluded (the plans are hand-built).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.artifacts import ExperimentResult
+from repro.bench.reporting import format_table
+from repro.executor.executor import Executor, MorselScheduler
+from repro.experiments.bench_compiled_scan import build_events_database
+from repro.experiments.registry import experiment
+from repro.plan.expressions import Between, ColumnRef, Comparison, JoinPredicate
+from repro.plan.logical import AggregateSpec, RelationRef
+from repro.plan.physical import JoinNode, PhysicalPlan, ScanNode
+
+PAPER_ARTIFACT = "Morsel-parallel scaling microbenchmark (beyond the paper)"
+
+DEFAULT_WORKERS_SWEEP = (1, 2, 4, 8)
+
+
+def _ref(column: str) -> ColumnRef:
+    return ColumnRef("events", column)
+
+
+def _scan_plan() -> PhysicalPlan:
+    """The low-selectivity scan: every predicate keeps most of its input."""
+    filters = (
+        Between(_ref("e_a"), 0, 949),
+        Comparison(_ref("e_c"), ">", -3.0),
+        Between(_ref("e_b"), 0, 97),
+        Comparison(_ref("e_c"), "<", 3.0),
+        Comparison(_ref("e_a"), "!=", 500),
+    )
+    return PhysicalPlan(
+        query_name="morsels-scan-low-sel",
+        root=ScanNode(relation=RelationRef.base("events", "events"),
+                      filters=filters),
+        aggregates=(AggregateSpec("count", None, "row_count"),),
+    )
+
+
+def _join_plan() -> PhysicalPlan:
+    """events |x| users on the FK: the probe side is the whole fact table."""
+    probe = ScanNode(relation=RelationRef.base("events", "events"))
+    build = ScanNode(relation=RelationRef.base("users", "users"))
+    root = JoinNode(left=probe, right=build,
+                    predicates=(JoinPredicate(ColumnRef("events", "e_user"),
+                                              ColumnRef("users", "u_id")),))
+    return PhysicalPlan(
+        query_name="morsels-join-probe", root=root,
+        aggregates=(AggregateSpec("count", None, "row_count"),),
+    )
+
+
+def _measure(executor: Executor, plan: PhysicalPlan, repeats: int):
+    """Best-of-``repeats`` execution: (best seconds, last ExecutionResult)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = executor.execute(plan)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@experiment(artifact=PAPER_ARTIFACT,
+            defaults={"num_rows": 200_000, "repeats": 3})
+def run(scale: float = 1.0,
+        num_rows: int = 400_000,
+        repeats: int = 3,
+        workers: int | None = None,
+        workers_sweep: tuple[int, ...] = DEFAULT_WORKERS_SWEEP,
+        seed: int = 13,
+        verbose: bool = True) -> ExperimentResult:
+    """Sweep scenario x worker count and report scaling over ``workers=1``.
+
+    ``workers`` (e.g. the CLI's ``--workers``) restricts the sweep to
+    ``(1, workers)`` -- the smoke configuration; ``workers_sweep`` sets
+    it explicitly.  ``result.data`` is ``{"grid": {scenario: {workers:
+    cell}}, "speedups": ..., "headline": ...}`` where every cell holds
+    ``seconds``, ``rows``, ``morsels_total``, ``morsel_workers`` and
+    ``parallel_scan_rows``.
+    """
+    rows = max(int(round(num_rows * scale)), 50_000)
+    if workers is not None:
+        workers_sweep = tuple(sorted({1, int(workers)}))
+    workers_sweep = tuple(dict.fromkeys(int(w) for w in workers_sweep))
+    if 1 not in workers_sweep:
+        workers_sweep = (1,) + workers_sweep
+    #: Eight morsels regardless of scale: enough to balance four workers,
+    #: large enough that numpy kernel time dwarfs dispatch overhead.
+    morsel_rows = max(rows // 8, 16_384)
+
+    database = build_events_database(rows, dict_encode=True, seed=seed,
+                                     block_size=4096)
+    scenarios = {"scan_low_sel": _scan_plan(), "join_probe": _join_plan()}
+
+    grid: dict[str, dict[int, dict]] = {name: {} for name in scenarios}
+    for width in workers_sweep:
+        scheduler = MorselScheduler(width, morsel_rows=morsel_rows)
+        try:
+            # Semijoin pushdown off: join_probe must exercise the full
+            # morsel-parallel probe, not a pre-pruned one.
+            executor = Executor(database, semijoin=False,
+                                morsel_scheduler=scheduler)
+            for name, plan in scenarios.items():
+                seconds, result = _measure(executor, plan, repeats)
+                grid[name][width] = {
+                    "seconds": seconds,
+                    "rows": int(result.table.column("row_count")[0]),
+                    "morsels_total": result.morsels_total,
+                    "morsel_workers": result.morsel_workers,
+                    "parallel_scan_rows": result.parallel_scan_rows,
+                }
+        finally:
+            scheduler.shutdown()
+
+    # Cross-check: the worker count may never change a result cardinality,
+    # and a multi-worker cell must actually have fanned out.
+    for name, cells in grid.items():
+        baseline = cells[1]
+        for width, cell in cells.items():
+            if cell["rows"] != baseline["rows"]:
+                raise AssertionError(
+                    f"morsel scaling ({name}, workers={width}) returned "
+                    f"{cell['rows']} rows, workers=1 returned "
+                    f"{baseline['rows']}")
+            if width > 1 and cell["morsels_total"] == 0:
+                raise AssertionError(
+                    f"morsel scaling ({name}, workers={width}) never "
+                    f"dispatched a morsel")
+        if baseline["morsels_total"] != 0:
+            raise AssertionError(
+                f"workers=1 cell of {name} dispatched morsels")
+
+    speedups = {
+        name: {width: cells[1]["seconds"] / cell["seconds"]
+               for width, cell in cells.items()
+               if width != 1 and cell["seconds"] > 0}
+        for name, cells in grid.items()
+    }
+    top = max(width for width in workers_sweep)
+    headline = {
+        "cpus": os.cpu_count(),
+        "workers_sweep": list(workers_sweep),
+        "scan_speedup_at_4": speedups["scan_low_sel"].get(4),
+        "join_speedup_at_4": speedups["join_probe"].get(4),
+        "scan_speedup_at_max": speedups["scan_low_sel"].get(top),
+        "join_speedup_at_max": speedups["join_probe"].get(top),
+    }
+
+    headers = ["scenario", "workers", "rows", "morsels", "time",
+               "speedup vs 1 worker"]
+    table_rows = []
+    for name, cells in grid.items():
+        for width, cell in sorted(cells.items()):
+            speedup = speedups[name].get(width)
+            table_rows.append([
+                name, width, cell["rows"], cell["morsels_total"],
+                f"{cell['seconds'] * 1e3:.3f} ms",
+                f"{speedup:.2f}x" if speedup else "-",
+            ])
+    tables = [format_table(headers, table_rows,
+                           title=f"Morsel-parallel scaling ({rows} rows, "
+                                 f"{morsel_rows} rows/morsel, best of "
+                                 f"{repeats}, {os.cpu_count()} cpus)")]
+
+    summary = dict(headline, num_rows=rows, morsel_rows=morsel_rows)
+    outcome = ExperimentResult(
+        name="bench_morsels",
+        artifact=PAPER_ARTIFACT,
+        params={"scale": scale, "num_rows": num_rows, "repeats": repeats,
+                "workers_sweep": list(workers_sweep), "seed": seed},
+        data={"grid": grid, "speedups": speedups, "headline": headline},
+        workloads={},
+        summary=summary,
+        tables=tables,
+    )
+    if verbose:
+        print(outcome.render())
+    return outcome

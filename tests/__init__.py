@@ -1,0 +1,3 @@
+"""Unit/property test package (a real package so test module names are
+namespaced: ``tests.test_morsels`` and ``benchmarks.test_morsels`` may
+share a basename without colliding in pytest's importer)."""

@@ -208,6 +208,33 @@ class TestDifferentialAfterMutations:
                         f"index={index}) [{query.name}]")
 
 
+class TestMorselDifferential:
+    def test_200_generated_queries_identical_at_1_and_4_workers(self, diff_db):
+        """Two passes over the full 200-query stream: ``workers=1``
+        (inline, no pool) vs. ``workers=4`` over a tiny-morsel scheduler
+        that forces every scan and probe to fan out into many morsels.
+        The merged results must match query by query -- the morsel layer
+        may never change an answer, only its wall-clock."""
+        from repro.executor.morsels import MorselScheduler
+
+        generator = make_stream(diff_db)
+        sequential = make_algorithm("Default", diff_db, workers=1)
+        with MorselScheduler(4, morsel_rows=100) as scheduler:
+            parallel = make_algorithm("Default", diff_db,
+                                      morsel_scheduler=scheduler)
+            for index in range(200):
+                query = generator.query_at(index)
+                expected_report = sequential.run(query)
+                actual_report = parallel.run(query)
+                assert not expected_report.timed_out, (SEED, index)
+                assert not actual_report.timed_out, (SEED, index)
+                assert_results_match(
+                    canonicalize_table(expected_report.final_table),
+                    canonicalize_table(actual_report.final_table),
+                    context=f"morsel differential (seed={SEED}, "
+                            f"index={index}, workers=1 vs 4) [{query.name}]")
+
+
 class TestCrossPolicyEquivalence:
     POLICIES = REOPT_ALGORITHMS + ("Default",)
 

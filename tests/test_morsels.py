@@ -1,0 +1,359 @@
+"""Parallel-correctness suite for morsel-driven intra-query execution.
+
+Four test families make the new concurrency trustworthy:
+
+* **Scheduler unit tests** -- work decomposition covers every row exactly
+  once in order, results merge in task order regardless of completion
+  order, ``workers=1`` never creates a thread, and cancellation leaves
+  the pool clean and reusable.
+* **Property sweep** -- generated queries replayed with ``workers=1``
+  vs. a heavily fanned-out scheduler (tiny morsels force many tasks)
+  across block sizes x worker counts x dict/fused/semijoin toggles must
+  return identical results, including adversarial morsel boundaries:
+  zone-pruned-to-nothing scans, ragged final blocks, and deleted-row
+  masks from PR 7 mutations.
+* **Counter conservation** -- the fused-kernel counters are accumulated
+  per morsel and merged by the coordinator, so the parallel totals must
+  equal the sequential ones *exactly* (a race would drop increments),
+  and the morsel counters must match the scheduler's own arithmetic.
+* **Cancellation storm** -- per-query timeouts firing mid-fanout across
+  many threads sharing one scheduler: no exception escapes a runner, no
+  task leaks, and the pool keeps serving exact results afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.executor.executor import Executor
+from repro.executor.morsels import (
+    MorselCancelled,
+    MorselCounters,
+    MorselScheduler,
+)
+from repro.plan.expressions import ColumnRef, Comparison
+from repro.plan.logical import RelationRef
+from repro.plan.physical import PhysicalPlan, ScanNode
+from repro.reopt.registry import make_algorithm
+from tests.reference_eval import assert_results_match, canonicalize_table
+from tests.test_differential import (
+    SEED,
+    build_differential_database,
+    make_stream,
+)
+
+
+# ----------------------------------------------------------------------
+# Scheduler unit tests
+# ----------------------------------------------------------------------
+class TestMorselScheduler:
+    def test_split_ranges_partitions_exactly_in_order(self):
+        scheduler = MorselScheduler(2, morsel_rows=10)
+        pieces = scheduler.split_ranges([(0, 25), (40, 40), (50, 61)])
+        assert pieces == [(0, 10), (10, 20), (20, 25), (50, 60), (60, 61)]
+        # Exact coverage: concatenating the pieces reproduces the ranges.
+        covered = [row for start, stop in pieces for row in range(start, stop)]
+        assert covered == list(range(0, 25)) + list(range(50, 61))
+
+    def test_results_merge_in_task_order_not_completion_order(self):
+        with MorselScheduler(4, morsel_rows=1) as scheduler:
+            def task(i):
+                def run():
+                    time.sleep(0.002 * (8 - i))  # later tasks finish first
+                    return i
+                return run
+            assert scheduler.run_ordered([task(i) for i in range(8)]) \
+                == list(range(8))
+
+    def test_single_worker_runs_inline_without_a_pool(self):
+        scheduler = MorselScheduler(1)
+        thread_ids = set()
+        scheduler.run_ordered(
+            [lambda: thread_ids.add(threading.get_ident())] * 4)
+        assert thread_ids == {threading.get_ident()}
+        assert scheduler._pool is None
+        scheduler.shutdown()
+
+    def test_deadline_fires_mid_fanout_and_pool_stays_reusable(self):
+        with MorselScheduler(2, morsel_rows=1) as scheduler:
+            finished: list[int] = []
+
+            def slow(i):
+                def run():
+                    time.sleep(0.03)
+                    finished.append(i)
+                    return i
+                return run
+
+            deadline = time.perf_counter() + 0.05
+            with pytest.raises(MorselCancelled):
+                scheduler.run_ordered([slow(i) for i in range(30)],
+                                      deadline=deadline)
+            # Pending tasks were cancelled, not leaked: far fewer than the
+            # full batch ever ran.
+            assert len(finished) < 30
+            # The pool survives and keeps producing ordered, exact results.
+            assert scheduler.run_ordered(
+                [lambda i=i: i * i for i in range(40)]) \
+                == [i * i for i in range(40)]
+
+    def test_shutdown_is_idempotent_and_fences_new_work(self):
+        scheduler = MorselScheduler(2)
+        scheduler.run_ordered([lambda: 1, lambda: 2])
+        scheduler.shutdown()
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError):
+            scheduler.run_ordered([lambda: 1, lambda: 2])
+
+    def test_rejects_degenerate_configuration(self):
+        with pytest.raises(ValueError):
+            MorselScheduler(0)
+        with pytest.raises(ValueError):
+            MorselScheduler(2, morsel_rows=0)
+        with pytest.raises(ValueError):
+            Executor(build_differential_database(block_size=0), workers=0)
+
+
+# ----------------------------------------------------------------------
+# Property sweep: parallel == sequential across engine toggles
+# ----------------------------------------------------------------------
+def _run_pair(db, query, scheduler, fused=True, semijoin=True):
+    """(sequential report, morsel report) for one query over ``db``."""
+    sequential = make_algorithm("Default", db, fused_kernels=fused,
+                                semijoin_pruning=semijoin)
+    parallel = make_algorithm("Default", db, fused_kernels=fused,
+                              semijoin_pruning=semijoin,
+                              morsel_scheduler=scheduler)
+    return sequential.run(query), parallel.run(query)
+
+
+class TestMorselPropertySweep:
+    #: (block_size, dict_encode, fused, semijoin, workers, morsel_rows).
+    #: Tiny morsel sizes force dozens of morsels even on the small
+    #: differential tables; block sizes 17/64 produce ragged final blocks
+    #: and zone-map runs that do not align with morsel boundaries.
+    CASES = [
+        (0, True, True, True, 4, 16),
+        (0, False, False, False, 2, 37),
+        (17, True, True, True, 3, 16),
+        (17, True, False, True, 4, 5),
+        (64, True, True, True, 4, 16),
+        (64, False, True, False, 2, 64),
+        (64, True, True, False, 3, 100),
+        (256, True, False, False, 4, 23),
+    ]
+
+    @pytest.mark.parametrize(
+        "block_size,dict_encode,fused,semijoin,workers,morsel_rows", CASES,
+        ids=[f"bs{c[0]}-dict{int(c[1])}-fused{int(c[2])}-semi{int(c[3])}"
+             f"-w{c[4]}-m{c[5]}" for c in CASES])
+    def test_generated_queries_identical_under_morsels(
+            self, block_size, dict_encode, fused, semijoin, workers,
+            morsel_rows):
+        db = build_differential_database(block_size=block_size,
+                                         dict_encode=dict_encode)
+        generator = make_stream(db, seed=SEED + block_size + workers)
+        with MorselScheduler(workers, morsel_rows=morsel_rows) as scheduler:
+            for index in range(12):
+                query = generator.query_at(index)
+                seq, par = _run_pair(db, query, scheduler,
+                                     fused=fused, semijoin=semijoin)
+                assert not seq.timed_out and not par.timed_out, index
+                assert_results_match(
+                    canonicalize_table(seq.final_table),
+                    canonicalize_table(par.final_table),
+                    context=f"morsel sweep bs={block_size} "
+                            f"dict={dict_encode} fused={fused} "
+                            f"semi={semijoin} w={workers} m={morsel_rows} "
+                            f"index={index} [{query.name}]")
+
+    def test_all_pruned_and_impossible_scans(self):
+        """Zone maps pruning every block (and dictionary-impossible
+        predicates) must yield empty selections identically with and
+        without the fan-out."""
+        db = build_differential_database(block_size=64)
+        cases = [
+            (Comparison(ColumnRef("movie", "year"), ">", 5000), "movie"),
+            (Comparison(ColumnRef("movie", "kind"), "=", "no-such-kind"),
+             "movie"),
+            (Comparison(ColumnRef("cast_info", "salary"), "<", -1.0),
+             "cast_info"),
+        ]
+        with MorselScheduler(4, morsel_rows=16) as scheduler:
+            for predicate, table_name in cases:
+                plan = PhysicalPlan(
+                    query_name="all-pruned",
+                    root=ScanNode(
+                        relation=RelationRef.base(table_name, table_name),
+                        filters=(predicate,)),
+                    output_columns=(ColumnRef(table_name, "id"),))
+                seq = Executor(db).execute(plan)
+                par = Executor(db, morsel_scheduler=scheduler).execute(plan)
+                assert seq.table.num_rows == 0
+                assert par.table.num_rows == 0
+
+    def test_deleted_row_masks_from_mutations(self):
+        """PR 7 mutations (append/delete batches leaving holes in the
+        valid mask, ragged appended tail blocks) replayed under morsels."""
+        from tests.test_dynamic import mutate_randomly
+
+        db = build_differential_database()
+        rng = np.random.default_rng(SEED + 9)
+        mutate_randomly(db, rng, "cast_info", batches=3)
+        mutate_randomly(db, rng, "movie_kw", batches=2)
+        generator = make_stream(db, seed=SEED + 9)
+        with MorselScheduler(4, morsel_rows=16) as scheduler:
+            for index in range(20):
+                query = generator.query_at(index)
+                seq, par = _run_pair(db, query, scheduler)
+                assert_results_match(
+                    canonicalize_table(seq.final_table),
+                    canonicalize_table(par.final_table),
+                    context=f"mutated morsel sweep index={index} "
+                            f"[{query.name}]")
+
+
+# ----------------------------------------------------------------------
+# Counter conservation (the race the satellite fix targets)
+# ----------------------------------------------------------------------
+class TestCounterConservation:
+    def _scan_plan(self):
+        return PhysicalPlan(
+            query_name="counter-scan",
+            root=ScanNode(
+                relation=RelationRef.base("cast_info", "cast_info"),
+                filters=(Comparison(ColumnRef("cast_info", "salary"),
+                                    ">", 1e4),
+                         Comparison(ColumnRef("cast_info", "note"),
+                                    "!=", "(voice)"))),
+            output_columns=(ColumnRef("cast_info", "id"),))
+
+    def test_parallel_counters_equal_sequential_exactly(self):
+        db = build_differential_database(block_size=64)
+        plan = self._scan_plan()
+        sequential = Executor(db).execute(plan)
+        with MorselScheduler(4, morsel_rows=16) as scheduler:
+            parallel = Executor(db, morsel_scheduler=scheduler).execute(plan)
+        # Bit-identical selection, exact counter sums: per-morsel local
+        # accumulation merged by the coordinator loses nothing.
+        np.testing.assert_array_equal(sequential.table.column("cast_info.id"),
+                                      parallel.table.column("cast_info.id"))
+        assert parallel.fused_rows_touched == sequential.fused_rows_touched
+        assert parallel.fused_rows_touched > 0
+        assert parallel.semijoin_pruned_rows == sequential.semijoin_pruned_rows
+        assert parallel.scan_blocks_total == sequential.scan_blocks_total
+        assert parallel.scan_blocks_pruned == sequential.scan_blocks_pruned
+
+    def test_morsel_accounting_matches_scheduler_arithmetic(self):
+        db = build_differential_database(block_size=0)  # one full-table range
+        table_rows = db.table("cast_info").num_rows
+        morsel_rows = 16
+        plan = self._scan_plan()
+        with MorselScheduler(4, morsel_rows=morsel_rows) as scheduler:
+            expected_morsels = len(scheduler.split_ranges([(0, table_rows)]))
+            result = Executor(db, morsel_scheduler=scheduler).execute(plan)
+        assert result.morsel_workers == 4
+        assert result.morsels_total == expected_morsels
+        assert result.parallel_scan_rows == table_rows
+        # Sequential executions leave all three at their defaults.
+        sequential = Executor(db).execute(plan)
+        assert sequential.morsels_total == 0
+        assert sequential.morsel_workers == 1
+        assert sequential.parallel_scan_rows == 0
+
+    def test_merge_into_is_additive(self):
+        counters = MorselCounters(fused_rows_touched=3,
+                                  semijoin_pruned_rows=2)
+        sink = MorselCounters(fused_rows_touched=10, semijoin_pruned_rows=1)
+        counters.merge_into(sink)
+        assert sink.fused_rows_touched == 13
+        assert sink.semijoin_pruned_rows == 3
+
+
+# ----------------------------------------------------------------------
+# Cancellation storm (shared scheduler, timeouts mid-fanout)
+# ----------------------------------------------------------------------
+class TestCancellationStorm:
+    N_THREADS = 6
+    QUERIES_PER_THREAD = 10
+
+    def test_timeout_storm_leaves_shared_pool_reusable(self):
+        """Many runners over one scheduler with a sub-millisecond budget:
+        timeouts (including :class:`MorselCancelled` from mid-fanout
+        deadlines) must surface as ``report.timed_out``, never as an
+        escaped exception, and after the storm the same scheduler must
+        still produce results identical to the sequential engine with
+        exact counter sums."""
+        db = build_differential_database()
+        scheduler = MorselScheduler(4, morsel_rows=8)
+        barrier = threading.Barrier(self.N_THREADS)
+        failures: list[str] = []
+        timed_out = [0] * self.N_THREADS
+
+        def worker(thread_id: int) -> None:
+            session = db.session_view()
+            runner = make_algorithm("Default", session,
+                                    timeout_seconds=0.0005,
+                                    morsel_scheduler=scheduler)
+            generator = make_stream(session, seed=SEED + thread_id)
+            barrier.wait()
+            for index in range(self.QUERIES_PER_THREAD):
+                try:
+                    report = runner.run(generator.query_at(index))
+                except Exception as exc:  # noqa: BLE001 — the assertion target
+                    failures.append(f"thread {thread_id} query {index}: "
+                                    f"{type(exc).__name__}: {exc}")
+                    return
+                if report.timed_out:
+                    timed_out[thread_id] += 1
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        try:
+            assert not failures, failures
+            assert sum(timed_out) > 0, "storm never hit a timeout"
+
+            # The pool survived the storm: full-budget queries through the
+            # same scheduler still match the sequential engine bit for bit,
+            # and the conserved counters still sum exactly.
+            generator = make_stream(db, seed=SEED + 99)
+            for index in range(5):
+                query = generator.query_at(index)
+                seq, par = _run_pair(db, query, scheduler)
+                assert not par.timed_out, index
+                assert_results_match(
+                    canonicalize_table(seq.final_table),
+                    canonicalize_table(par.final_table),
+                    context=f"post-storm index={index} [{query.name}]")
+        finally:
+            scheduler.shutdown()
+
+    def test_executor_deadline_cancels_and_clears(self):
+        """A deadline in the past aborts the fan-out with MorselCancelled;
+        clearing it restores exact execution on the same executor."""
+        db = build_differential_database(block_size=0)
+        plan = PhysicalPlan(
+            query_name="deadline-scan",
+            root=ScanNode(
+                relation=RelationRef.base("cast_info", "cast_info"),
+                filters=(Comparison(ColumnRef("cast_info", "salary"),
+                                    ">", 0.0),)),
+            output_columns=(ColumnRef("cast_info", "id"),))
+        with MorselScheduler(4, morsel_rows=8) as scheduler:
+            executor = Executor(db, morsel_scheduler=scheduler)
+            executor.deadline = time.perf_counter() - 1.0
+            with pytest.raises(MorselCancelled):
+                executor.execute(plan)
+            executor.deadline = None
+            result = executor.execute(plan)
+            np.testing.assert_array_equal(
+                result.table.column("cast_info.id"),
+                Executor(db).execute(plan).table.column("cast_info.id"))

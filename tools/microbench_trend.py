@@ -2,16 +2,22 @@
 """Append the storage/executor microbenchmark headlines to a trend file.
 
 Runs the two hot-path microbenchmarks (`bench_scan_pruning` and
-`bench_compiled_scan`) plus reduced `bench_serving` and
-`bench_stale_stats` sweeps at a smoke scale and appends one entry --
+`bench_compiled_scan`) plus reduced `bench_serving`, `bench_stale_stats`,
+and `bench_morsels` sweeps at a smoke scale and appends one entry --
 
 ```json
 {"rev": "<git short rev>", "recorded_at": "<ISO-8601 UTC>",
  "scan_pruning": {...summary...}, "compiled_scan": {...summary...},
  "serving": {"p95_under_load": ..., "peak_throughput_qps": ...},
  "stale_stats": {"triggered_qerror_improvement": ...,
-                 "reopt_advantage_under_drift": ...}}
+                 "reopt_advantage_under_drift": ...},
+ "morsels": {"cpus": ..., "scan_speedup_at_4": ...,
+             "join_speedup_at_4": ...}}
 ```
+
+(`morsels.cpus` records the machine's core count: thread scaling cannot
+beat it, so a flat speedup on a small box is interpretable rather than a
+regression.)
 
 -- to the committed ``BENCH_microbench.json`` trend file, so speedup
 regressions are visible as a time series across PRs rather than only as a
@@ -78,6 +84,7 @@ def main(argv: list[str] | None = None) -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.experiments import (
         bench_compiled_scan,
+        bench_morsels,
         bench_scan_pruning,
         bench_serving,
         bench_stale_stats,
@@ -102,6 +109,11 @@ def main(argv: list[str] | None = None) -> int:
                                   algorithms=("Default", "Reopt"),
                                   steps=4, queries_per_step=6,
                                   verbose=False)
+    # Reduced morsel sweep: the 1/2/4-worker cells the scaling headline
+    # needs (8 workers adds nothing on the machines that record trends).
+    morsels = bench_morsels.run(num_rows=max(args.num_rows, 200_000),
+                                repeats=args.repeats,
+                                workers_sweep=(1, 2, 4), verbose=False)
 
     entry = {
         "rev": git_rev(),
@@ -115,6 +127,8 @@ def main(argv: list[str] | None = None) -> int:
                         scale=args.serving_scale,
                         queries=args.serving_queries),
         "stale_stats": dict(stale.data["headline"], scale=args.stale_scale),
+        "morsels": dict(morsels.data["headline"],
+                        num_rows=morsels.summary["num_rows"]),
     }
     trend = load_trend(args.out)
     trend["entries"] = [e for e in trend["entries"]
@@ -135,7 +149,10 @@ def main(argv: list[str] | None = None) -> int:
           f"stale triggered-ANALYZE="
           f"{entry['stale_stats']['triggered_qerror_improvement']:.2f}x "
           f"q-err, reopt-under-drift="
-          f"{entry['stale_stats']['reopt_advantage_under_drift']:.2f}x")
+          f"{entry['stale_stats']['reopt_advantage_under_drift']:.2f}x, "
+          f"morsels scan@4w={entry['morsels']['scan_speedup_at_4']:.2f}x "
+          f"join@4w={entry['morsels']['join_speedup_at_4']:.2f}x "
+          f"({entry['morsels']['cpus']} cpus)")
     return 0
 
 
